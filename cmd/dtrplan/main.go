@@ -1,0 +1,300 @@
+// Command dtrplan makes task-reallocation decisions for a DCS described
+// by a JSON specification (see package modelspec):
+//
+//	dtrplan -model system.json optimize -objective mean
+//	dtrplan -model system.json optimize -objective qos -deadline 180
+//	dtrplan -model system.json metrics  -policy "0>1:26" -deadline 180
+//	dtrplan -model system.json simulate -policy "0>1:26" -reps 10000
+//	dtrplan -model system.json bounds   -policy "0>2:4,1>2:3" -deadline 40
+//	dtrplan -model system.json cdf      -policy "0>1:26" -points 20
+//
+// Policies are written as comma-separated "src>dst:count" shipments
+// (server indices are 0-based). Two-server systems get exact analytic
+// answers; larger systems use Algorithm 1, simulation and the
+// batch-arrival bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"dtr"
+	"dtr/modelspec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dtrplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dtrplan", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the JSON system specification (required)")
+	gridN := fs.Int("grid", 8192, "lattice points for the analytic solvers")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtrplan -model system.json <optimize|metrics|simulate|bounds|cdf> [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("need -model and a subcommand")
+	}
+
+	m, initial, err := modelspec.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	sys, err := dtr.NewSystem(m, initial)
+	if err != nil {
+		return err
+	}
+	sys.GridN = *gridN
+
+	sub := fs.Arg(0)
+	rest := fs.Args()[1:]
+	switch sub {
+	case "optimize":
+		return cmdOptimize(sys, rest, out)
+	case "metrics":
+		return cmdMetrics(sys, rest, out)
+	case "simulate":
+		return cmdSimulate(sys, rest, out)
+	case "bounds":
+		return cmdBounds(sys, rest, out)
+	case "cdf":
+		return cmdCDF(sys, rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+// parsePolicy reads "src>dst:count,src>dst:count,..." into a Policy.
+func parsePolicy(s string, n int) (dtr.Policy, error) {
+	p := dtr.NewPolicy(n)
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		arrow := strings.Index(part, ">")
+		colon := strings.Index(part, ":")
+		if arrow < 0 || colon < arrow {
+			return nil, fmt.Errorf("bad shipment %q (want src>dst:count)", part)
+		}
+		src, err := strconv.Atoi(part[:arrow])
+		if err != nil {
+			return nil, fmt.Errorf("bad source in %q: %w", part, err)
+		}
+		dst, err := strconv.Atoi(part[arrow+1 : colon])
+		if err != nil {
+			return nil, fmt.Errorf("bad destination in %q: %w", part, err)
+		}
+		count, err := strconv.Atoi(part[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad count in %q: %w", part, err)
+		}
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			return nil, fmt.Errorf("shipment %q references server outside 0..%d", part, n-1)
+		}
+		p[src][dst] += count
+	}
+	return p, nil
+}
+
+// formatPolicy renders the non-zero shipments.
+func formatPolicy(p dtr.Policy) string {
+	var parts []string
+	for i := range p {
+		for j, l := range p[i] {
+			if l > 0 {
+				parts = append(parts, fmt.Sprintf("%d>%d:%d", i, j, l))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "(no reallocation)"
+	}
+	return strings.Join(parts, ",")
+}
+
+func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	objective := fs.String("objective", "mean", "mean, qos or reliability")
+	deadline := fs.Float64("deadline", 0, "deadline for -objective qos")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		pol   dtr.Policy
+		value float64
+		err   error
+	)
+	switch *objective {
+	case "mean":
+		pol, value, err = sys.OptimalMeanPolicy()
+	case "qos":
+		pol, value, err = sys.OptimalQoSPolicy(*deadline)
+	case "reliability":
+		pol, value, err = sys.OptimalReliabilityPolicy()
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "objective: %s\n", *objective)
+	fmt.Fprintf(out, "policy:    %s\n", formatPolicy(pol))
+	if sys.Model().N() == 2 {
+		fmt.Fprintf(out, "value:     %.4f\n", value)
+	} else {
+		fmt.Fprintln(out, "value:     (multi-server: evaluate with `simulate -policy ...`)")
+	}
+	return nil
+}
+
+func cmdMetrics(sys *dtr.System, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	policyStr := fs.String("policy", "", "shipments, e.g. \"0>1:26\"")
+	deadline := fs.Float64("deadline", 0, "QoS deadline (0 = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePolicy(*policyStr, sys.Model().N())
+	if err != nil {
+		return err
+	}
+	rel, err := sys.Reliability(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "policy:      %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "reliability: %.4f\n", rel)
+	if sys.Model().Reliable() {
+		mean, err := sys.MeanTime(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mean time:   %.4f\n", mean)
+	} else {
+		fmt.Fprintln(out, "mean time:   (undefined: servers can fail)")
+	}
+	if *deadline > 0 {
+		q, err := sys.QoS(p, *deadline)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "QoS(%g):    %.4f\n", *deadline, q)
+	}
+	return nil
+}
+
+func cmdSimulate(sys *dtr.System, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	policyStr := fs.String("policy", "", "shipments, e.g. \"0>1:26\"")
+	reps := fs.Int("reps", 10000, "Monte-Carlo replications")
+	deadline := fs.Float64("deadline", 0, "QoS deadline (0 = skip)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePolicy(*policyStr, sys.Model().N())
+	if err != nil {
+		return err
+	}
+	est, err := sys.Simulate(p, dtr.SimOptions{Reps: *reps, Seed: *seed, Deadline: *deadline})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "policy:      %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "reps:        %d\n", est.Reps)
+	fmt.Fprintf(out, "reliability: %.4f ± %.4f\n", est.Reliability, est.ReliabilityHalf)
+	if !math.IsNaN(est.MeanTime) {
+		fmt.Fprintf(out, "mean time:   %.4f ± %.4f (over %d completed)\n",
+			est.MeanTime, est.MeanTimeHalf, est.Completed)
+	}
+	if *deadline > 0 {
+		fmt.Fprintf(out, "QoS(%g):    %.4f ± %.4f\n", *deadline, est.QoS, est.QoSHalf)
+	}
+	return nil
+}
+
+func cmdBounds(sys *dtr.System, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("bounds", flag.ContinueOnError)
+	policyStr := fs.String("policy", "", "shipments, e.g. \"0>2:4,1>2:3\"")
+	deadline := fs.Float64("deadline", 0, "QoS deadline (0 = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePolicy(*policyStr, sys.Model().N())
+	if err != nil {
+		return err
+	}
+	b, err := sys.MetricBounds(p, *deadline)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "policy: %s\n", formatPolicy(p))
+	if b.Exact {
+		fmt.Fprintln(out, "exact (at most one group per server):")
+	} else {
+		fmt.Fprintln(out, "batch-arrival bounds (optimistic .. pessimistic):")
+	}
+	if !math.IsNaN(b.Optimistic.Mean) {
+		fmt.Fprintf(out, "mean time:   %.4f .. %.4f\n", b.Optimistic.Mean, b.Pessimistic.Mean)
+	}
+	fmt.Fprintf(out, "reliability: %.4f .. %.4f\n", b.Pessimistic.Reliability, b.Optimistic.Reliability)
+	if *deadline > 0 && !math.IsNaN(b.Optimistic.QoS) {
+		fmt.Fprintf(out, "QoS(%g):    %.4f .. %.4f\n", *deadline, b.Pessimistic.QoS, b.Optimistic.QoS)
+	}
+	return nil
+}
+
+func cmdCDF(sys *dtr.System, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("cdf", flag.ContinueOnError)
+	policyStr := fs.String("policy", "", "shipments, e.g. \"0>1:26\"")
+	points := fs.Int("points", 20, "number of curve points to print")
+	tmax := fs.Float64("tmax", 0, "last time point (0 = auto from the mean)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePolicy(*policyStr, sys.Model().N())
+	if err != nil {
+		return err
+	}
+	cdf, err := sys.CompletionCDF(p)
+	if err != nil {
+		return err
+	}
+	end := *tmax
+	if end <= 0 {
+		// Walk the curve out to where it has nearly reached its limit
+		// (the reliability: with failure-prone servers the curve
+		// saturates below 1).
+		limit := cdf(1e18)
+		end = 1
+		if limit > 1e-9 {
+			for cdf(end) < 0.995*limit && end < 1e9 {
+				end *= 2
+			}
+			end *= 1.25
+		} else {
+			end = 100
+		}
+	}
+	fmt.Fprintf(out, "policy: %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "%12s  %s\n", "t", "P(T <= t)")
+	for i := 1; i <= *points; i++ {
+		t := end * float64(i) / float64(*points)
+		fmt.Fprintf(out, "%12.3f  %.4f\n", t, cdf(t))
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSample(b *testing.B, d Dist) {
+	r := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkSampleExponential(b *testing.B) { benchSample(b, NewExponential(1)) }
+func BenchmarkSamplePareto(b *testing.B)      { benchSample(b, NewPareto(2.5, 1)) }
+func BenchmarkSampleGamma(b *testing.B)       { benchSample(b, NewGamma(2.3, 1)) }
+func BenchmarkSampleShiftedGamma(b *testing.B) {
+	benchSample(b, NewShiftedGamma(0.5, 2, 2))
+}
+func BenchmarkSampleLogNormal(b *testing.B) { benchSample(b, NewLogNormal(0.7, 1)) }
+
+func BenchmarkAgedSurvivalPareto(b *testing.B) {
+	d := NewPareto(2.5, 1).Aged(2.5)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += d.Survival(float64(i%17) / 4)
+	}
+	_ = sink
+}
+
+func BenchmarkAgedSurvivalGeneric(b *testing.B) {
+	d := NewGamma(2.3, 1).Aged(1.5)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += d.Survival(float64(i%17) / 4)
+	}
+	_ = sink
+}

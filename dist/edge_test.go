@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// TestAgedWrapperSurface exercises every method of the generic aged view
+// (the wrapper families without closed-form residuals fall back to).
+func TestAgedWrapperSurface(t *testing.T) {
+	base := NewGamma(2.3, 2)
+	ad := base.Aged(0.9)
+
+	if got := ad.PDF(-1); got != 0 {
+		t.Fatalf("aged PDF below 0: %g", got)
+	}
+	if got := ad.CDF(-0.5); got != 0 {
+		t.Fatalf("aged CDF below 0: %g", got)
+	}
+	if got := ad.Survival(-0.5); got != 1 {
+		t.Fatalf("aged survival below 0: %g", got)
+	}
+	if v := ad.Var(); !(v > 0) {
+		t.Fatalf("aged variance: %g", v)
+	}
+	lo, hi := ad.Support()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatalf("aged gamma support [%g, %g]", lo, hi)
+	}
+	if q := ad.Quantile(0); q != 0 {
+		t.Fatalf("aged Quantile(0): %g", q)
+	}
+	if !math.IsNaN(ad.Quantile(2)) {
+		t.Fatal("aged Quantile out of range should be NaN")
+	}
+	r := rand.New(rand.NewPCG(5, 6))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := ad.Sample(r)
+		if x < 0 {
+			t.Fatalf("aged sample negative: %g", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum/n-ad.Mean()) > 0.1*ad.Mean() {
+		t.Fatalf("aged sample mean %g vs %g", sum/n, ad.Mean())
+	}
+	// Pareto has a closed-form aged law, so force the generic wrapper
+	// through a Weibull with shape < 1 (decreasing hazard).
+	w := NewWeibull(0.6, 1)
+	aw := w.Aged(2)
+	if aw.Mean() <= w.Mean() {
+		t.Fatalf("decreasing-hazard residual mean should grow: %g vs %g", aw.Mean(), w.Mean())
+	}
+}
+
+// TestAgedWrapperBoundedSupport: aging a bounded law shrinks its support
+// and caps the quantile.
+func TestAgedWrapperBoundedSupport(t *testing.T) {
+	u := NewUniform(1, 3).Aged(2) // residual of U[1,3] given T > 2: U[0,1]
+	lo, hi := u.Support()
+	if lo != 0 || math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("aged uniform support [%g, %g]", lo, hi)
+	}
+	if q := u.Quantile(1); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("aged uniform Quantile(1) = %g", q)
+	}
+	if got := u.PDF(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("aged uniform density %g, want 1", got)
+	}
+}
+
+func TestAgedParetoSurface(t *testing.T) {
+	p := NewPareto(1.5, 1) // infinite variance
+	ap := p.Aged(3)
+	if !math.IsInf(ap.Var(), 1) {
+		t.Fatal("aged infinite-variance Pareto keeps infinite variance")
+	}
+	lo, hi := ap.Support()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatalf("aged pareto support [%g, %g]", lo, hi)
+	}
+	r := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 1000; i++ {
+		if x := ap.Sample(r); x < 0 {
+			t.Fatalf("aged pareto sample %g", x)
+		}
+	}
+	// meanExcess of the aged view matches the numeric integral.
+	p2 := NewPareto(2.5, 1).Aged(0.4)
+	got := MeanExcess(p2, 1.2)
+	// Below-support branch: threshold below the residual support floor.
+	p3 := NewPareto(2.5, 2).Aged(0.5) // support starts at 1.2-0.5=0.7
+	below := MeanExcess(p3, 0.1)
+	if !(below > MeanExcess(p3, 1)) {
+		t.Fatal("mean excess must decrease past the support floor")
+	}
+	if got <= 0 {
+		t.Fatalf("aged pareto mean excess %g", got)
+	}
+	if !strings.Contains(ap.(interface{ String() string }).String(), "AgedPareto") {
+		t.Fatal("aged pareto String")
+	}
+	// Infinite-mean tail: alpha <= 1.
+	if !math.IsInf((agedPareto{scale: 1, alpha: 0.9, age: 1}).Mean(), 1) {
+		t.Fatal("alpha<=1 residual mean should be infinite")
+	}
+	if !math.IsInf((agedPareto{scale: 1, alpha: 0.9, age: 1}).meanExcess(2), 1) {
+		t.Fatal("alpha<=1 mean excess should be infinite")
+	}
+}
+
+func TestParetoInfiniteMeanBranches(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 0.9}
+	if !math.IsInf(p.Mean(), 1) || !math.IsInf(p.Var(), 1) {
+		t.Fatal("alpha<1 Pareto mean/var should be infinite")
+	}
+	if !math.IsInf(p.meanExcess(5), 1) {
+		t.Fatal("alpha<1 mean excess should be infinite")
+	}
+	lo, hi := p.Support()
+	if lo != 1 || !math.IsInf(hi, 1) {
+		t.Fatal("pareto support")
+	}
+}
+
+func TestDeterministicAndNeverSurfaces(t *testing.T) {
+	d := NewDeterministic(3)
+	if d.PDF(3) != 0 {
+		t.Fatal("deterministic has no density")
+	}
+	if d.Quantile(0.7) != 3 {
+		t.Fatal("deterministic quantile")
+	}
+	lo, hi := d.Support()
+	if lo != 3 || hi != 3 {
+		t.Fatal("deterministic support")
+	}
+	r := rand.New(rand.NewPCG(9, 10))
+	if d.Sample(r) != 3 {
+		t.Fatal("deterministic sample")
+	}
+	if !strings.Contains(d.String(), "Deterministic") {
+		t.Fatal("deterministic String")
+	}
+
+	n := Never{}
+	if n.Quantile(0) != 0 || !math.IsInf(n.Quantile(0.5), 1) {
+		t.Fatal("never quantile")
+	}
+	if n.String() != "Never" {
+		t.Fatal("never String")
+	}
+	lo, hi = n.Support()
+	if !math.IsInf(lo, 1) || !math.IsInf(hi, 1) {
+		t.Fatal("never support")
+	}
+	if !math.IsNaN(n.Quantile(-1)) {
+		t.Fatal("never quantile domain")
+	}
+}
+
+func TestLogNormalEdges(t *testing.T) {
+	d := NewLogNormal(0.7, 2)
+	if d.CDF(-1) != 0 || d.CDF(0) != 0 {
+		t.Fatal("lognormal CDF at/below 0")
+	}
+	if d.Survival(0) != 1 || d.Survival(-1) != 1 {
+		t.Fatal("lognormal survival at/below 0")
+	}
+	if d.PDF(0) != 0 || d.PDF(-1) != 0 {
+		t.Fatal("lognormal pdf at/below 0")
+	}
+	if d.Quantile(0) != 0 || !math.IsInf(d.Quantile(1), 1) {
+		t.Fatal("lognormal quantile endpoints")
+	}
+	if !math.IsNaN(d.Quantile(-0.1)) {
+		t.Fatal("lognormal quantile domain")
+	}
+	if !strings.Contains(d.String(), "LogNormal") {
+		t.Fatal("lognormal String")
+	}
+	lo, hi := d.Support()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatal("lognormal support")
+	}
+}
+
+func TestGammaPDFBoundaryBehaviour(t *testing.T) {
+	if !math.IsInf(NewGamma(0.5, 1).PDF(0), 1) {
+		t.Fatal("k<1 gamma density diverges at 0")
+	}
+	if got := NewGamma(1, 2).PDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("k=1 gamma density at 0 is the rate: %g", got)
+	}
+	if NewGamma(2, 1).PDF(0) != 0 {
+		t.Fatal("k>1 gamma density vanishes at 0")
+	}
+	if NewGamma(2, 1).PDF(-1) != 0 {
+		t.Fatal("gamma density below 0")
+	}
+	// Weibull boundary mirrors gamma.
+	if !math.IsInf(NewWeibull(0.7, 1).PDF(0), 1) {
+		t.Fatal("k<1 weibull density diverges at 0")
+	}
+	if NewWeibull(2, 1).PDF(0) != 0 {
+		t.Fatal("k>1 weibull density vanishes at 0")
+	}
+	// Gamma with k=1 ages like an exponential (identity).
+	g := NewGamma(1, 2)
+	if g.Aged(5).Mean() != 2 {
+		t.Fatal("k=1 gamma should be memoryless")
+	}
+	w := NewWeibull(1, 2)
+	if w.Aged(5).Mean() != 2 {
+		t.Fatal("k=1 weibull should be memoryless")
+	}
+}
+
+func TestShiftedGammaMeanConstructor(t *testing.T) {
+	sg := NewShiftedGammaMean(0.5, 2, 2)
+	if math.Abs(sg.Mean()-2) > 1e-12 || math.Abs(sg.Shift-0.5) > 1e-12 {
+		t.Fatalf("shifted gamma mean constructor: %+v", sg)
+	}
+	// Aging within the displacement, then past it.
+	within := sg.Aged(0.3)
+	if _, ok := within.(ShiftedGamma); !ok {
+		t.Fatalf("aging within shift keeps the family: %T", within)
+	}
+	past := sg.Aged(0.5)
+	if _, ok := past.(ShiftedGamma); ok {
+		t.Fatal("aging past the shift should hand off to the gamma residual")
+	}
+}
+
+func TestExponentialMeanExcessBelowZero(t *testing.T) {
+	e := NewExponential(2)
+	if got := e.meanExcess(-3); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean excess below support: %g", got)
+	}
+	se := NewShiftedExponential(1, 3)
+	if got := se.meanExcess(0); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("shifted exp mean excess at 0: %g", got)
+	}
+}

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Exponential is the memoryless distribution with the given rate. It is
+// the Markovian special case of the framework: Aged returns the receiver
+// unchanged, so the age matrix carries no information and the model
+// collapses to the discrete state space of the earlier work ([2],[7] in
+// the paper).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns an exponential distribution with the given mean.
+func NewExponential(mean float64) Exponential {
+	if mean <= 0 || math.IsNaN(mean) {
+		panic(fmt.Sprintf("dist: exponential mean must be positive, got %g", mean))
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+func (d Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return d.Rate * math.Exp(-d.Rate*x)
+}
+
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * x)
+}
+
+func (d Exponential) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-d.Rate * x)
+}
+
+func (d Exponential) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / d.Rate
+}
+
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+func (d Exponential) Var() float64 { return 1 / (d.Rate * d.Rate) }
+
+func (d Exponential) Sample(r *rand.Rand) float64 {
+	return r.ExpFloat64() / d.Rate
+}
+
+func (d Exponential) Support() (lo, hi float64) { return 0, math.Inf(1) }
+
+// Aged returns the distribution itself: the exponential is the unique
+// continuous law with no memory, which is precisely why Markovian DCS
+// models need no age matrix.
+func (d Exponential) Aged(a float64) Dist {
+	if a < 0 || math.IsNaN(a) {
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	}
+	return d
+}
+
+func (d Exponential) meanExcess(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-d.Rate*x) / d.Rate
+}
+
+func (d Exponential) String() string {
+	return fmt.Sprintf("Exponential(mean=%g)", 1/d.Rate)
+}
+
+// ShiftedExponential is an exponential displaced by a strictly positive
+// minimum delay. The paper motivates it as the simplest correction of the
+// exponential's physically impossible zero minimum transfer time.
+type ShiftedExponential struct {
+	Shift float64 // minimum value (displacement)
+	Rate  float64 // rate of the exponential part
+}
+
+// NewShiftedExponential returns the shifted exponential with the given
+// displacement and given total mean (shift + 1/rate = mean).
+func NewShiftedExponential(shift, mean float64) ShiftedExponential {
+	if shift < 0 || math.IsNaN(shift) {
+		panic(fmt.Sprintf("dist: negative shift %g", shift))
+	}
+	if mean <= shift {
+		panic(fmt.Sprintf("dist: shifted exponential needs mean (%g) > shift (%g)", mean, shift))
+	}
+	return ShiftedExponential{Shift: shift, Rate: 1 / (mean - shift)}
+}
+
+func (d ShiftedExponential) PDF(x float64) float64 {
+	if x < d.Shift {
+		return 0
+	}
+	return d.Rate * math.Exp(-d.Rate*(x-d.Shift))
+}
+
+func (d ShiftedExponential) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * (x - d.Shift))
+}
+
+func (d ShiftedExponential) Survival(x float64) float64 {
+	if x <= d.Shift {
+		return 1
+	}
+	return math.Exp(-d.Rate * (x - d.Shift))
+}
+
+func (d ShiftedExponential) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return d.Shift - math.Log1p(-p)/d.Rate
+}
+
+func (d ShiftedExponential) Mean() float64 { return d.Shift + 1/d.Rate }
+
+func (d ShiftedExponential) Var() float64 { return 1 / (d.Rate * d.Rate) }
+
+func (d ShiftedExponential) Sample(r *rand.Rand) float64 {
+	return d.Shift + r.ExpFloat64()/d.Rate
+}
+
+func (d ShiftedExponential) Support() (lo, hi float64) { return d.Shift, math.Inf(1) }
+
+// Aged ages through the deterministic displacement first: while a < Shift
+// the residual is a shifted exponential with the remaining displacement;
+// past the displacement the exponential memorylessness takes over.
+func (d ShiftedExponential) Aged(a float64) Dist {
+	switch {
+	case a < 0 || math.IsNaN(a):
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	case a == 0:
+		return d
+	case a < d.Shift:
+		return ShiftedExponential{Shift: d.Shift - a, Rate: d.Rate}
+	default:
+		return Exponential{Rate: d.Rate}
+	}
+}
+
+func (d ShiftedExponential) meanExcess(x float64) float64 {
+	if x <= d.Shift {
+		return (d.Shift - x) + 1/d.Rate
+	}
+	return math.Exp(-d.Rate*(x-d.Shift)) / d.Rate
+}
+
+func (d ShiftedExponential) String() string {
+	return fmt.Sprintf("ShiftedExponential(shift=%g, mean=%g)", d.Shift, d.Mean())
+}

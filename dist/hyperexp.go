@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// HyperExponential is a finite mixture of exponentials: with probability
+// W[i] the time is exponential with rate Rates[i]. It is the classic
+// over-dispersed service model (coefficient of variation > 1, strictly
+// decreasing hazard) and complements the paper's families: unlike the
+// Pareto it has light tails, yet it is still emphatically non-Markovian —
+// and its aged law stays inside the family, with the mixture weights
+// re-weighted toward the slow phases as the clock ages:
+//
+//	w_i(a) = W_i·exp(−λ_i·a) / Σ_j W_j·exp(−λ_j·a).
+//
+// An old task is increasingly likely to be a slow-phase task — exactly
+// the memory the paper's age variables carry.
+type HyperExponential struct {
+	W     []float64
+	Rates []float64
+}
+
+// NewHyperExponential returns the mixture with the given weights
+// (normalized internally) and rates.
+func NewHyperExponential(weights, rates []float64) HyperExponential {
+	if len(weights) == 0 || len(weights) != len(rates) {
+		panic(fmt.Sprintf("dist: hyperexponential needs matching non-empty weights/rates, got %d/%d",
+			len(weights), len(rates)))
+	}
+	var sum float64
+	for i := range weights {
+		if weights[i] <= 0 || math.IsNaN(weights[i]) {
+			panic(fmt.Sprintf("dist: hyperexponential weight %d must be positive, got %g", i, weights[i]))
+		}
+		if rates[i] <= 0 || math.IsNaN(rates[i]) {
+			panic(fmt.Sprintf("dist: hyperexponential rate %d must be positive, got %g", i, rates[i]))
+		}
+		sum += weights[i]
+	}
+	w := make([]float64, len(weights))
+	r := make([]float64, len(rates))
+	for i := range weights {
+		w[i] = weights[i] / sum
+		r[i] = rates[i]
+	}
+	return HyperExponential{W: w, Rates: r}
+}
+
+// NewHyperExponential2 returns the balanced two-phase mixture with the
+// given mean and squared coefficient of variation scv > 1, using the
+// standard balanced-means fit.
+func NewHyperExponential2(mean, scv float64) HyperExponential {
+	if mean <= 0 || math.IsNaN(mean) {
+		panic(fmt.Sprintf("dist: hyperexponential mean must be positive, got %g", mean))
+	}
+	if scv <= 1 {
+		panic(fmt.Sprintf("dist: two-phase hyperexponential needs scv > 1, got %g", scv))
+	}
+	// Balanced means: p1/λ1 = p2/λ2 = mean/2.
+	root := math.Sqrt((scv - 1) / (scv + 1))
+	p1 := (1 + root) / 2
+	p2 := 1 - p1
+	return NewHyperExponential(
+		[]float64{p1, p2},
+		[]float64{2 * p1 / mean, 2 * p2 / mean},
+	)
+}
+
+func (d HyperExponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	var s float64
+	for i := range d.W {
+		s += d.W[i] * d.Rates[i] * math.Exp(-d.Rates[i]*x)
+	}
+	return s
+}
+
+func (d HyperExponential) CDF(x float64) float64 { return 1 - d.Survival(x) }
+
+func (d HyperExponential) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	var s float64
+	for i := range d.W {
+		s += d.W[i] * math.Exp(-d.Rates[i]*x)
+	}
+	return s
+}
+
+// Quantile inverts the survival by bisection bracketed via the extreme
+// phase rates (the mixture has no closed-form inverse).
+func (d HyperExponential) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	s := 1 - p
+	// Bracket: survival is between exp(-λmax x) and exp(-λmin x).
+	lmin, lmax := d.Rates[0], d.Rates[0]
+	for _, r := range d.Rates[1:] {
+		lmin = math.Min(lmin, r)
+		lmax = math.Max(lmax, r)
+	}
+	lo := -math.Log(s) / lmax
+	hi := -math.Log(s) / lmin
+	// Guard bracketing against weight skew, then bisect.
+	for d.Survival(hi) > s {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-14*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if d.Survival(mid) > s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func (d HyperExponential) Mean() float64 {
+	var m float64
+	for i := range d.W {
+		m += d.W[i] / d.Rates[i]
+	}
+	return m
+}
+
+func (d HyperExponential) Var() float64 {
+	var m, m2 float64
+	for i := range d.W {
+		m += d.W[i] / d.Rates[i]
+		m2 += 2 * d.W[i] / (d.Rates[i] * d.Rates[i])
+	}
+	return m2 - m*m
+}
+
+func (d HyperExponential) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	var cum float64
+	for i := range d.W {
+		cum += d.W[i]
+		if u < cum || i == len(d.W)-1 {
+			return r.ExpFloat64() / d.Rates[i]
+		}
+	}
+	return r.ExpFloat64() / d.Rates[len(d.Rates)-1]
+}
+
+func (d HyperExponential) Support() (lo, hi float64) { return 0, math.Inf(1) }
+
+// Aged returns the closed-form residual law: still hyperexponential with
+// the same rates, weights re-weighted toward the slow phases.
+func (d HyperExponential) Aged(a float64) Dist {
+	switch {
+	case a < 0 || math.IsNaN(a):
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	case a == 0:
+		return d
+	}
+	w := make([]float64, len(d.W))
+	var sum float64
+	for i := range d.W {
+		w[i] = d.W[i] * math.Exp(-d.Rates[i]*a)
+		sum += w[i]
+	}
+	if sum <= 0 {
+		panic(fmt.Sprintf("dist: aging %v past numerical support (a=%g)", d, a))
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return HyperExponential{W: w, Rates: append([]float64(nil), d.Rates...)}
+}
+
+func (d HyperExponential) meanExcess(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	var s float64
+	for i := range d.W {
+		s += d.W[i] * math.Exp(-d.Rates[i]*x) / d.Rates[i]
+	}
+	return s
+}
+
+func (d HyperExponential) String() string {
+	return fmt.Sprintf("HyperExponential(w=%v, rates=%v)", d.W, d.Rates)
+}

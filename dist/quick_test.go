@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// pickDist maps fuzzer bytes onto a family instance with a bounded mean,
+// so quick.Check explores the whole library.
+func pickDist(fam, meanByte uint8) Dist {
+	mean := 0.25 + float64(meanByte%40)/8 // 0.25 .. 5.125
+	switch fam % 7 {
+	case 0:
+		return NewExponential(mean)
+	case 1:
+		return NewPareto(2.5, mean)
+	case 2:
+		return NewPareto(1.5, mean)
+	case 3:
+		return NewShiftedExponential(mean/3, mean)
+	case 4:
+		return NewUniform(mean/2, 3*mean/2)
+	case 5:
+		return NewGamma(1.7, mean)
+	default:
+		return NewWeibull(0.8, mean)
+	}
+}
+
+// TestQuickCDFMonotone: distribution functions never decrease.
+func TestQuickCDFMonotone(t *testing.T) {
+	prop := func(fam, meanByte uint8, x1, x2 float64) bool {
+		d := pickDist(fam, meanByte)
+		a := math.Abs(math.Mod(x1, 50))
+		b := math.Abs(math.Mod(x2, 50))
+		if a > b {
+			a, b = b, a
+		}
+		return d.CDF(a) <= d.CDF(b)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAgedSurvivalIdentity: the defining conditional-law identity
+// S_a(x) = S(a+x)/S(a) under random families, ages and arguments.
+func TestQuickAgedSurvivalIdentity(t *testing.T) {
+	prop := func(fam, meanByte uint8, aRaw, xRaw float64) bool {
+		d := pickDist(fam, meanByte)
+		a := math.Abs(math.Mod(aRaw, 8))
+		x := math.Abs(math.Mod(xRaw, 20))
+		sa := d.Survival(a)
+		if sa < 1e-9 {
+			return true // cannot condition on a null event
+		}
+		got := d.Aged(a).Survival(x)
+		want := d.Survival(a+x) / sa
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAgedComposition: Aged(a).Aged(b) ≡ Aged(a+b).
+func TestQuickAgedComposition(t *testing.T) {
+	prop := func(fam, meanByte uint8, aRaw, bRaw, xRaw float64) bool {
+		d := pickDist(fam, meanByte)
+		a := math.Abs(math.Mod(aRaw, 4))
+		b := math.Abs(math.Mod(bRaw, 4))
+		x := math.Abs(math.Mod(xRaw, 10))
+		if d.Survival(a+b) < 1e-9 {
+			return true
+		}
+		lhs := d.Aged(a).Aged(b).Survival(x)
+		rhs := d.Aged(a + b).Survival(x)
+		return math.Abs(lhs-rhs) < 1e-9*(1+rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuantileInverts: CDF(Quantile(p)) ≈ p for continuous laws.
+func TestQuickQuantileInverts(t *testing.T) {
+	prop := func(fam, meanByte uint8, pRaw float64) bool {
+		d := pickDist(fam, meanByte)
+		p := math.Abs(math.Mod(pRaw, 0.998)) + 0.001
+		x := d.Quantile(p)
+		return math.Abs(d.CDF(x)-p) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMeanExcessDecreasing: E[(T−x)⁺] is non-increasing in x.
+func TestQuickMeanExcessDecreasing(t *testing.T) {
+	prop := func(fam, meanByte uint8, x1, x2 float64) bool {
+		d := pickDist(fam, meanByte)
+		if math.IsInf(d.Var(), 1) {
+			return true // numeric tails of infinite-variance laws are slow
+		}
+		a := math.Abs(math.Mod(x1, 20))
+		b := math.Abs(math.Mod(x2, 20))
+		if a > b {
+			a, b = b, a
+		}
+		return MeanExcess(d, b) <= MeanExcess(d, a)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSampleWithinSupport: draws always land inside the support.
+func TestQuickSampleWithinSupport(t *testing.T) {
+	prop := func(fam, meanByte uint8, seed uint64) bool {
+		d := pickDist(fam, meanByte)
+		r := newRandFromSeed(seed)
+		lo, hi := d.Support()
+		for i := 0; i < 16; i++ {
+			x := d.Sample(r)
+			if x < lo-1e-12 || x > hi+1e-12 || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRandFromSeed builds a deterministic generator for property tests.
+func newRandFromSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

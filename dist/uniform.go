@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Uniform is the continuous uniform distribution on [A, B]. The paper's
+// "Uniform" model assigns service and transfer times a uniform law with
+// the mean matched to the exponential baseline; following the matched-mean
+// convention we center the interval on the mean (see FamilyUniform).
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns the uniform distribution on [a, b].
+func NewUniform(a, b float64) Uniform {
+	if !(a < b) || a < 0 || math.IsNaN(a) || math.IsNaN(b) {
+		panic(fmt.Sprintf("dist: invalid uniform interval [%g, %g]", a, b))
+	}
+	return Uniform{A: a, B: b}
+}
+
+func (d Uniform) PDF(x float64) float64 {
+	if x < d.A || x > d.B {
+		return 0
+	}
+	return 1 / (d.B - d.A)
+}
+
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (x - d.A) / (d.B - d.A)
+	}
+}
+
+func (d Uniform) Survival(x float64) float64 { return 1 - d.CDF(x) }
+
+func (d Uniform) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	return d.A + p*(d.B-d.A)
+}
+
+func (d Uniform) Mean() float64 { return (d.A + d.B) / 2 }
+
+func (d Uniform) Var() float64 {
+	w := d.B - d.A
+	return w * w / 12
+}
+
+func (d Uniform) Sample(r *rand.Rand) float64 {
+	return d.A + r.Float64()*(d.B-d.A)
+}
+
+func (d Uniform) Support() (lo, hi float64) { return d.A, d.B }
+
+// Aged returns the uniform law on the residual interval: conditioning a
+// uniform on {T > a} with a inside the support is again uniform.
+func (d Uniform) Aged(a float64) Dist {
+	switch {
+	case a < 0 || math.IsNaN(a):
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	case a == 0:
+		return d
+	case a >= d.B:
+		panic(fmt.Sprintf("dist: aging %v past its support (a=%g)", d, a))
+	case a <= d.A:
+		return Uniform{A: d.A - a, B: d.B - a}
+	default:
+		return Uniform{A: 0, B: d.B - a}
+	}
+}
+
+func (d Uniform) meanExcess(x float64) float64 {
+	switch {
+	case x <= d.A:
+		return d.Mean() - x
+	case x >= d.B:
+		return 0
+	default:
+		// ∫_x^B (B-t)/(B-A) dt = (B-x)² / (2(B-A)).
+		return (d.B - x) * (d.B - x) / (2 * (d.B - d.A))
+	}
+}
+
+func (d Uniform) String() string {
+	return fmt.Sprintf("Uniform(%g, %g)", d.A, d.B)
+}
+
+// Deterministic is the degenerate distribution concentrated at C ≥ 0.
+// It models constant processing or transfer delays and serves as a
+// stress case: it is the "most non-Markovian" law (hazard is a spike),
+// maximally far from the exponential assumption.
+type Deterministic struct {
+	C float64
+}
+
+// NewDeterministic returns the point mass at c.
+func NewDeterministic(c float64) Deterministic {
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("dist: deterministic value must be non-negative, got %g", c))
+	}
+	return Deterministic{C: c}
+}
+
+// PDF returns 0 everywhere: the law has an atom, not a density. Callers
+// that need event-splitting probabilities for deterministic clocks handle
+// the atom through CDF/Survival.
+func (d Deterministic) PDF(x float64) float64 { return 0 }
+
+func (d Deterministic) CDF(x float64) float64 {
+	if x >= d.C {
+		return 1
+	}
+	return 0
+}
+
+func (d Deterministic) Survival(x float64) float64 { return 1 - d.CDF(x) }
+
+func (d Deterministic) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	return d.C
+}
+
+func (d Deterministic) Mean() float64 { return d.C }
+
+func (d Deterministic) Var() float64 { return 0 }
+
+func (d Deterministic) Sample(r *rand.Rand) float64 { return d.C }
+
+func (d Deterministic) Support() (lo, hi float64) { return d.C, d.C }
+
+func (d Deterministic) Aged(a float64) Dist {
+	switch {
+	case a < 0 || math.IsNaN(a):
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	case a == 0:
+		return d
+	case a >= d.C && d.C != 0:
+		panic(fmt.Sprintf("dist: aging %v past its support (a=%g)", d, a))
+	case d.C == 0 && a > 0:
+		panic(fmt.Sprintf("dist: aging %v past its support (a=%g)", d, a))
+	default:
+		return Deterministic{C: d.C - a}
+	}
+}
+
+func (d Deterministic) meanExcess(x float64) float64 {
+	if x >= d.C {
+		return 0
+	}
+	return d.C - x
+}
+
+func (d Deterministic) String() string {
+	return fmt.Sprintf("Deterministic(%g)", d.C)
+}
+
+// Never is the improper distribution of an event that never occurs
+// (T = +∞ almost surely). The paper sets degenerate random times to
+// infinity — the service time at an empty or failed server, the failure
+// time of an already-failed server, the transfer time of a message not in
+// transit — and Never is that convention as a first-class value.
+type Never struct{}
+
+func (Never) PDF(x float64) float64      { return 0 }
+func (Never) CDF(x float64) float64      { return 0 }
+func (Never) Survival(x float64) float64 { return 1 }
+
+func (Never) Quantile(p float64) float64 {
+	if !checkProb(p) {
+		return math.NaN()
+	}
+	if p == 0 {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+func (Never) Mean() float64                  { return math.Inf(1) }
+func (Never) Var() float64                   { return math.Inf(1) }
+func (Never) Sample(r *rand.Rand) float64    { return math.Inf(1) }
+func (Never) Support() (lo, hi float64)      { return math.Inf(1), math.Inf(1) }
+func (Never) String() string                 { return "Never" }
+func (d Never) meanExcess(x float64) float64 { return math.Inf(1) }
+
+func (d Never) Aged(a float64) Dist {
+	if a < 0 || math.IsNaN(a) {
+		panic(fmt.Sprintf("dist: negative age %g", a))
+	}
+	return d
+}

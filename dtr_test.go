@@ -1,0 +1,409 @@
+package dtr_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dtr"
+	"dtr/dist"
+)
+
+// paperModel builds the canonical two-server model of the paper's
+// evaluation under the Pareto-1 family with low network delay.
+func paperModel(reliable bool) *dtr.Model {
+	fail := func(mean float64) dist.Dist {
+		if reliable {
+			return dist.Never{}
+		}
+		return dist.NewExponential(mean)
+	}
+	return &dtr.Model{
+		Service: []dist.Dist{dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1)},
+		Failure: []dist.Dist{fail(1000), fail(500)},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewPareto(2.5, float64(tasks))
+		},
+	}
+}
+
+func TestSystemMetricsRoundTrip(t *testing.T) {
+	sys, err := dtr.NewSystem(paperModel(true), []int{20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+
+	mean, err := sys.MeanTime(dtr.Policy2(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("mean %g", mean)
+	}
+	q, err := sys.QoS(dtr.Policy2(5, 0), 2*mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.5 || q > 1 {
+		t.Fatalf("QoS at twice the mean should be high, got %g", q)
+	}
+	rel, err := sys.Reliability(dtr.Policy2(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 1 {
+		t.Fatalf("reliable system reliability %g", rel)
+	}
+}
+
+func TestSystemOptimalPolicies(t *testing.T) {
+	sys, err := dtr.NewSystem(paperModel(true), []int{20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+	pol, best, err := sys.OptimalMeanPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum must not be worse than obvious alternatives.
+	for _, alt := range []dtr.Policy{dtr.Policy2(0, 0), dtr.Policy2(10, 0), dtr.Policy2(0, 10)} {
+		v, err := sys.MeanTime(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best > v+1e-9 {
+			t.Fatalf("optimal %g worse than %v at %g", best, alt, v)
+		}
+	}
+	if err := pol.Validate([]int{20, 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	polQ, bestQ, err := sys.OptimalQoSPolicy(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestQ <= 0 || bestQ > 1 {
+		t.Fatalf("QoS optimum %g", bestQ)
+	}
+	if err := polQ.Validate([]int{20, 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemReliabilityPolicy(t *testing.T) {
+	sys, err := dtr.NewSystem(paperModel(false), []int{20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+	pol, best, err := sys.OptimalReliabilityPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || best > 1 {
+		t.Fatalf("reliability optimum %g", best)
+	}
+	got, err := sys.Reliability(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("re-evaluated optimum %g vs %g", got, best)
+	}
+}
+
+func TestSystemSimulateAgreesWithAnalytic(t *testing.T) {
+	sys, err := dtr.NewSystem(paperModel(false), []int{20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+	p := dtr.Policy2(4, 1)
+	want, err := sys.Reliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.Simulate(p, dtr.SimOptions{Reps: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-want) > 3*est.ReliabilityHalf+0.01 {
+		t.Fatalf("sim %g ± %g vs analytic %g", est.Reliability, est.ReliabilityHalf, want)
+	}
+}
+
+func TestRegenSolverPublicPath(t *testing.T) {
+	m := paperModel(true)
+	sv, err := dtr.NewRegenSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Step = 0.05
+	sv.Horizon = 60
+	st, err := dtr.NewState(m, []int{2, 1}, dtr.Policy2(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := sv.MeanTime(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := dtr.NewSystem(m, []int{2, 1})
+	sys.GridN = 1 << 12
+	sys.Horizon = 60
+	want, err := sys.MeanTime(dtr.Policy2(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-want) > 0.03*(1+want) {
+		t.Fatalf("regeneration solver %g vs convolution solver %g", mean, want)
+	}
+}
+
+func TestMultiServerPath(t *testing.T) {
+	m := &dtr.Model{
+		Service: []dist.Dist{
+			dist.NewPareto(2.5, 3), dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1),
+		},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewExponential(0.5 * float64(tasks))
+		},
+	}
+	sys, err := dtr.NewSystem(m, []int{30, 10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.MeanTime(dtr.NewPolicy(3)); err == nil {
+		t.Fatal("analytic metrics should refuse 3-server systems")
+	}
+	pol, err := sys.Algorithm1(dtr.Alg1Config{Objective: dtr.ObjMeanTime, K: 2, GridN: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPol, err := sys.Simulate(pol, dtr.SimOptions{Reps: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPol, err := sys.Simulate(dtr.NewPolicy(3), dtr.SimOptions{Reps: 1500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPol.MeanTime >= noPol.MeanTime {
+		t.Fatalf("Algorithm 1 (%.2f) should beat no reallocation (%.2f)", withPol.MeanTime, noPol.MeanTime)
+	}
+}
+
+func TestFitDistributionsPublicPath(t *testing.T) {
+	tb := dtr.NewTestbed(paperModel(true), 50*time.Microsecond, 6)
+	out, err := tb.Run([]int{8, 4}, dtr.Policy2(2, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("reliable testbed run must complete")
+	}
+	// Collect more server-1 service samples by pooling a few runs.
+	samples := out.ServiceSamples[0]
+	for i := 1; i < 40; i++ {
+		o, err := tb.Run([]int{8, 4}, dtr.Policy2(2, 0), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, o.ServiceSamples[0]...)
+	}
+	fits := dtr.FitDistributions(samples, 40)
+	if len(fits) == 0 {
+		t.Fatal("no fits")
+	}
+	h := dtr.NewHistogram(samples, 20)
+	if len(h.Density) != 20 {
+		t.Fatal("histogram bins")
+	}
+}
+
+func TestMetricBoundsPublicPath(t *testing.T) {
+	m := &dtr.Model{
+		Service: []dist.Dist{
+			dist.NewPareto(2.5, 3), dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1),
+		},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewExponential(float64(tasks))
+		},
+	}
+	sys, err := dtr.NewSystem(m, []int{10, 6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+	p := dtr.NewPolicy(3)
+	p[0][2] = 3
+	p[1][2] = 2
+	b, err := sys.MetricBounds(p, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Exact {
+		t.Fatal("two groups to one server should not be exact")
+	}
+	if b.Optimistic.Mean > b.Pessimistic.Mean {
+		t.Fatalf("bounds inverted: %g > %g", b.Optimistic.Mean, b.Pessimistic.Mean)
+	}
+	est, err := sys.Simulate(p, dtr.SimOptions{Reps: 6000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := 3 * est.MeanTimeHalf
+	if est.MeanTime < b.Optimistic.Mean-slack || est.MeanTime > b.Pessimistic.Mean+slack {
+		t.Fatalf("simulated %g outside bounds [%g, %g]", est.MeanTime, b.Optimistic.Mean, b.Pessimistic.Mean)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := dtr.NewSystem(&dtr.Model{}, nil); err == nil {
+		t.Fatal("empty model should fail")
+	}
+	if _, err := dtr.NewSystem(paperModel(true), []int{1}); err == nil {
+		t.Fatal("wrong allocation length should fail")
+	}
+	if _, err := dtr.NewSystem(paperModel(true), []int{-1, 1}); err == nil {
+		t.Fatal("negative allocation should fail")
+	}
+	sys, _ := dtr.NewSystem(paperModel(true), []int{5, 5})
+	if _, err := sys.MeanTime(dtr.Policy2(9, 0)); err == nil {
+		t.Fatal("overdrawn policy should fail")
+	}
+}
+
+func TestCompletionCDFPublicPath(t *testing.T) {
+	sys, err := dtr.NewSystem(paperModel(false), []int{12, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 12
+	p := dtr.Policy2(3, 0)
+	cdf, err := sys.CompletionCDF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf(-1) != 0 {
+		t.Fatal("CDF before 0 should be 0")
+	}
+	q, err := sys.QoS(p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callable interpolates between lattice points while QoS sums
+	// exactly at them, so agreement is to one lattice cell.
+	if d := cdf(20) - q; d > 5e-3 || d < -5e-3 {
+		t.Fatalf("CDF(20)=%g vs QoS %g", cdf(20), q)
+	}
+	rel, err := sys.Reliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cdf(1e9) - rel; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("CDF(inf)=%g vs reliability %g", cdf(1e9), rel)
+	}
+	prev := 0.0
+	for x := 0.0; x < 100; x += 5 {
+		v := cdf(x)
+		if v < prev-1e-12 {
+			t.Fatal("public CDF not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestSystemAccessorsAndStateSim(t *testing.T) {
+	m := paperModel(false)
+	sys, err := dtr.NewSystem(m, []int{8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model() != m {
+		t.Fatal("Model accessor")
+	}
+	init := sys.Initial()
+	init[0] = 99 // must be a copy
+	if sys.Initial()[0] == 99 {
+		t.Fatal("Initial must return a copy")
+	}
+
+	// SimulateState runs from an arbitrary aged configuration.
+	st, err := dtr.NewState(m, []int{8, 4}, dtr.Policy2(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AgeW[0] = 0.5
+	est, err := dtr.SimulateState(m, st, dtr.SimOptions{Reps: 500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Reliability < 0 || est.Reliability > 1 {
+		t.Fatalf("reliability %g", est.Reliability)
+	}
+}
+
+func TestMultiServerOptimizeFallsBackToAlgorithm1(t *testing.T) {
+	m := &dtr.Model{
+		Service: []dist.Dist{
+			dist.NewExponential(2), dist.NewExponential(1), dist.NewExponential(0.5),
+		},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewExponential(0.2 * float64(tasks))
+		},
+	}
+	sys, err := dtr.NewSystem(m, []int{20, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.GridN = 1 << 10
+	pol, _, err := sys.OptimalMeanPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.Validate([]int{20, 5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range pol {
+		for _, l := range pol[i] {
+			moved += l
+		}
+	}
+	if moved == 0 {
+		t.Fatal("multi-server optimization should move tasks off the slow server")
+	}
+}
+
+func TestQoSErrorPaths(t *testing.T) {
+	sys, _ := dtr.NewSystem(paperModel(false), []int{4, 2})
+	sys.GridN = 1 << 10
+	if _, err := sys.QoS(dtr.Policy2(0, 0), -1); err == nil {
+		t.Fatal("negative deadline should fail")
+	}
+	if _, err := sys.Reliability(dtr.Policy2(9, 0)); err == nil {
+		t.Fatal("overdrawn policy should fail")
+	}
+	if _, err := sys.CompletionCDF(dtr.Policy2(9, 0)); err == nil {
+		t.Fatal("overdrawn policy should fail in CDF")
+	}
+}

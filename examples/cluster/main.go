@@ -1,0 +1,88 @@
+// Cluster: the multi-server workflow of the paper's Table II. A
+// five-node heterogeneous cluster holds an imbalanced batch of 200
+// tasks; the paper's Algorithm 1 — which decomposes the cluster into
+// pairwise two-server problems and iterates them to a fixed point —
+// produces a reallocation policy in linear time, validated here by
+// Monte-Carlo simulation against no reallocation and against the
+// exponential-approximation policy.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtr"
+	"dtr/dist"
+)
+
+// cluster builds the Table II model: service means 5..1 s (node 5 is the
+// fastest), per-task transfer mean 3 s (severe delay), under the given
+// stochastic family.
+func cluster(f dist.Family) *dtr.Model {
+	serviceMeans := []float64{5, 4, 3, 2, 1}
+	m := &dtr.Model{}
+	for _, mean := range serviceMeans {
+		m.Service = append(m.Service, f.WithMean(mean))
+		m.Failure = append(m.Failure, dist.Never{})
+	}
+	m.Transfer = func(tasks, src, dst int) dist.Dist {
+		if tasks < 1 {
+			tasks = 1
+		}
+		return f.WithMean(3.0 * float64(tasks))
+	}
+	return m
+}
+
+func main() {
+	initial := []int{80, 50, 30, 25, 15}
+
+	truth, err := dtr.NewSystem(cluster(dist.FamilyPareto1), initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Algorithm 1 under the true (heavy-tailed) model.
+	pol, err := truth.Algorithm1(dtr.Alg1Config{Objective: dtr.ObjMeanTime, K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Algorithm-1 policy (rows: from, cols: to):")
+	for i, row := range pol {
+		fmt.Printf("  node %d: %v\n", i+1, row)
+	}
+
+	// Algorithm 1 under the Markovian mis-model, applied to the truth.
+	markovSys, err := dtr.NewSystem(cluster(dist.FamilyExponential), initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expPol, err := markovSys.Algorithm1(dtr.Alg1Config{Objective: dtr.ObjMeanTime, K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const reps = 4000
+	show := func(sys *dtr.System, name string, p dtr.Policy, seed uint64) float64 {
+		est, err := sys.Simulate(p, dtr.SimOptions{Reps: reps, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-34s %7.2f ± %.2f s\n", name, est.MeanTime, est.MeanTimeHalf)
+		return est.MeanTime
+	}
+
+	fmt.Printf("\nsimulated mean execution time (%d reps, 95%% CI):\n", reps)
+	base := show(truth, "no reallocation", dtr.NewPolicy(5), 11)
+	alg := show(truth, "Algorithm 1 (non-Markovian)", pol, 12)
+	exp := show(truth, "Algorithm 1 (exponential policy)", expPol, 13)
+	pred := show(markovSys, "...as the exponential model predicts", expPol, 14)
+
+	fmt.Printf("\nreallocation speeds the batch up %.1fx.\n", base/alg)
+	fmt.Printf("The exponential mis-model predicts %.0f s but the heavy-tailed\n", pred)
+	fmt.Printf("truth delivers %.0f s — a %.0f%% prediction error (the paper's\n",
+		exp, 100*(exp-pred)/exp)
+	fmt.Println("Table II story), even though the *policy* it prescribes is close.")
+}

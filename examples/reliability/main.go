@@ -1,0 +1,91 @@
+// Reliability: maximize the probability that a workload survives
+// permanent server failures — the paper's testbed scenario (§III-B). A
+// volunteer-computing pair executes a batch where hosts can leave for
+// good at any time and tasks stranded on a dead host are lost; the DTR
+// policy balances the fast-but-fragile host against the slow-but-steady
+// one, and the reliability-optimal policy is NOT the mean-time-optimal
+// one (the trade-off the paper highlights).
+//
+//	go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtr"
+	"dtr/dist"
+)
+
+func main() {
+	// The paper's fitted testbed laws: Pareto services, shifted-gamma
+	// transfers, exponential failures (means 300 s and 150 s — the fast
+	// host is also twice as flaky).
+	m := &dtr.Model{
+		Service: []dist.Dist{
+			dist.NewPareto(2.614, 4.858),
+			dist.NewPareto(2.614, 2.357),
+		},
+		Failure: []dist.Dist{
+			dist.NewExponential(300),
+			dist.NewExponential(150),
+		},
+		FN: func(src, dst int) dist.Dist {
+			mean := 0.313
+			if src == 1 {
+				mean = 0.145
+			}
+			return dist.NewShiftedGammaMean(0.55*mean, 2, mean)
+		},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			mean := 1.207 * float64(tasks)
+			if src == 1 {
+				mean = 0.803 * float64(tasks)
+			}
+			return dist.NewShiftedGammaMean(0.55*mean, 2, mean)
+		},
+	}
+
+	sys, err := dtr.NewSystem(m, []int{50, 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pol, rel, err := sys.OptimalReliabilityPolicy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reliability-optimal policy: ship %d tasks 1→2, %d tasks 2→1\n",
+		pol[0][1], pol[1][0])
+	fmt.Printf("P(whole workload served)  : %.4f\n\n", rel)
+
+	none, err := sys.Reliability(dtr.Policy2(0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without reallocation      : %.4f\n", none)
+
+	// Cross-check the analytic prediction with Monte-Carlo, exactly the
+	// validation loop of the paper's Fig. 4(c).
+	est, err := sys.Simulate(pol, dtr.SimOptions{Reps: 10000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte-Carlo check         : %.4f ± %.4f (95%% CI, %d reps)\n",
+		est.Reliability, est.ReliabilityHalf, est.Reps)
+
+	// The reliability curve is shallow here (both hosts lose a similar
+	// amount of work per unit hazard); print it so the trade-off is
+	// visible.
+	fmt.Println("\nreliability by L12 (L21 = 0):")
+	for _, l12 := range []int{0, 10, 20, 26, 30, 40, 50} {
+		r, err := sys.Reliability(dtr.Policy2(l12, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  L12=%2d: %.4f\n", l12, r)
+	}
+}

@@ -1,0 +1,3 @@
+module dtr
+
+go 1.24

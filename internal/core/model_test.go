@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"dtr/dist"
+)
+
+// twoServerModel builds a 2-server model with the given service/failure
+// laws and exponential transfers with mean meanZ per task.
+func twoServerModel(w1, w2, y1, y2 dist.Dist, meanZPerTask float64) *Model {
+	return &Model{
+		Service: []dist.Dist{w1, w2},
+		Failure: []dist.Dist{y1, y2},
+		FN: func(src, dst int) dist.Dist {
+			return dist.NewExponential(0.2)
+		},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			return dist.NewExponential(meanZPerTask * float64(tasks))
+		},
+	}
+}
+
+func reliable2(w1, w2 dist.Dist) *Model {
+	return twoServerModel(w1, w2, dist.Never{}, dist.Never{}, 1)
+}
+
+func TestModelValidate(t *testing.T) {
+	m := reliable2(dist.NewExponential(1), dist.NewExponential(2))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Model{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty model should not validate")
+	}
+	m2 := reliable2(dist.NewExponential(1), dist.NewExponential(2))
+	m2.Failure = m2.Failure[:1]
+	if err := m2.Validate(); err == nil {
+		t.Fatal("mismatched failure laws should not validate")
+	}
+	m3 := reliable2(dist.NewExponential(1), dist.NewExponential(2))
+	m3.Transfer = nil
+	if err := m3.Validate(); err == nil {
+		t.Fatal("nil transfer should not validate")
+	}
+	m4 := reliable2(nil, dist.NewExponential(2))
+	if err := m4.Validate(); err == nil {
+		t.Fatal("nil service law should not validate")
+	}
+}
+
+func TestModelReliable(t *testing.T) {
+	if !reliable2(dist.NewExponential(1), dist.NewExponential(2)).Reliable() {
+		t.Fatal("Never failures should be reliable")
+	}
+	m := twoServerModel(dist.NewExponential(1), dist.NewExponential(2),
+		dist.NewExponential(100), dist.Never{}, 1)
+	if m.Reliable() {
+		t.Fatal("exponential failure should not be reliable")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	initial := []int{10, 5}
+	cases := []struct {
+		p  Policy
+		ok bool
+	}{
+		{Policy2(0, 0), true},
+		{Policy2(10, 5), true},
+		{Policy2(11, 0), false},
+		{Policy2(-1, 0), false},
+		{Policy{{1, 0}, {0, 0}}, false}, // self-reallocation
+		{Policy{{0, 1}}, false},         // wrong shape
+		{Policy{{0}, {0}}, false},       // ragged
+	}
+	for i, c := range cases {
+		err := c.p.Validate(initial)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestNewStateCanonical(t *testing.T) {
+	m := reliable2(dist.NewExponential(2), dist.NewExponential(1))
+	s, err := NewState(m, []int{10, 5}, Policy2(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Queue[0] != 6 || s.Queue[1] != 3 {
+		t.Fatalf("queues after reallocation: %v", s.Queue)
+	}
+	if len(s.Groups) != 2 {
+		t.Fatalf("groups: %v", s.Groups)
+	}
+	if s.TotalTasks() != 15 {
+		t.Fatalf("tasks must be conserved, got %d", s.TotalTasks())
+	}
+	for _, g := range s.Groups {
+		if g.Age != 0 {
+			t.Fatal("initial group ages must be zero")
+		}
+	}
+	if s.Done() || s.Doomed() {
+		t.Fatal("fresh state is neither done nor doomed")
+	}
+}
+
+func TestNewStateRejectsBadInputs(t *testing.T) {
+	m := reliable2(dist.NewExponential(2), dist.NewExponential(1))
+	if _, err := NewState(m, []int{1}, Policy2(0, 0)); err == nil {
+		t.Fatal("wrong allocation length should fail")
+	}
+	if _, err := NewState(m, []int{-1, 2}, Policy2(0, 0)); err == nil {
+		t.Fatal("negative queue should fail")
+	}
+	if _, err := NewState(m, []int{1, 2}, Policy2(5, 0)); err == nil {
+		t.Fatal("overdrawn policy should fail")
+	}
+}
+
+func TestStateDoneAndDoomed(t *testing.T) {
+	m := reliable2(dist.NewExponential(2), dist.NewExponential(1))
+	s, _ := NewState(m, []int{0, 0}, Policy2(0, 0))
+	if !s.Done() {
+		t.Fatal("empty system should be done")
+	}
+	s2, _ := NewState(m, []int{1, 0}, Policy2(0, 0))
+	s2.Up[0] = false
+	if !s2.Doomed() {
+		t.Fatal("task at failed server should doom the workload")
+	}
+	s3, _ := NewState(m, []int{1, 0}, Policy2(1, 0))
+	s3.Up[1] = false
+	if !s3.Doomed() {
+		t.Fatal("group heading to failed server should doom the workload")
+	}
+}
+
+func TestStateAdvance(t *testing.T) {
+	m := reliable2(dist.NewExponential(2), dist.NewExponential(1))
+	s, _ := NewState(m, []int{3, 2}, Policy2(1, 1))
+	s.Advance(0.5)
+	if s.AgeW[0] != 0.5 || s.AgeY[1] != 0.5 || s.Groups[0].Age != 0.5 {
+		t.Fatalf("ages not advanced: %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	s.Advance(-1)
+}
+
+func TestStateCloneIsDeep(t *testing.T) {
+	m := reliable2(dist.NewExponential(2), dist.NewExponential(1))
+	s, _ := NewState(m, []int{3, 2}, Policy2(1, 0))
+	c := s.Clone()
+	c.Queue[0] = 99
+	c.Groups[0].Age = 7
+	c.KnowsDown[0][1] = true
+	if s.Queue[0] == 99 || s.Groups[0].Age == 7 || s.KnowsDown[0][1] {
+		t.Fatal("clone shares memory with original")
+	}
+}
+
+func TestPolicy2Shape(t *testing.T) {
+	p := Policy2(3, 4)
+	if p[0][1] != 3 || p[1][0] != 4 || p[0][0] != 0 || p[1][1] != 0 {
+		t.Fatalf("Policy2 layout: %v", p)
+	}
+	np := NewPolicy(3)
+	if len(np) != 3 || len(np[2]) != 3 {
+		t.Fatal("NewPolicy shape")
+	}
+}

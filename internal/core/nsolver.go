@@ -1,0 +1,444 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"dtr/dist"
+)
+
+// NSolver is the n-server generalization of the age-dependent
+// regeneration solver — the paper's Remark 1: "non-Markovian
+// representations for the metrics in Theorem 1 in the case of an n-server
+// DCS can be obtained in a straightforward manner following the same
+// principles as those for a two-server system."
+//
+// The recursion is identical to Solver's; the configuration is held in
+// slices and memoized under a byte-encoded key, so the state space — and
+// with it the cost, exponential in n as the paper warns (§II-D,
+// "computing the metrics using the exact n-server characterization is
+// expensive") — is bounded only by MaxStates. Use it for exact answers on
+// small n-server configurations and Algorithm 1 for production policy
+// making.
+type NSolver struct {
+	Model *Model
+
+	// Grid controls; see the Solver fields of the same names.
+	Step        float64
+	Horizon     float64
+	AgeCap      float64
+	EpsSurvival float64
+	TrackFN     bool
+	MaxStates   int
+
+	memoRel  map[string]float64
+	memoMean map[string]float64
+	memoQoS  map[string]float64
+}
+
+// NewNSolver returns an n-server regeneration solver with defaults
+// derived from the model's means.
+func NewNSolver(m *Model) (*NSolver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	minMean := math.Inf(1)
+	for _, d := range m.Service {
+		if mu := d.Mean(); mu < minMean {
+			minMean = mu
+		}
+	}
+	return &NSolver{
+		Model:       m,
+		Step:        minMean / 10,
+		Horizon:     400 * minMean,
+		AgeCap:      20 * minMean,
+		EpsSurvival: 1e-9,
+	}, nil
+}
+
+// nstate is the grid configuration for n servers.
+type nstate struct {
+	q      []int
+	up     []bool
+	aW     []int
+	aY     []int
+	groups []ggroup
+	fns    []gfn
+}
+
+func (s *nstate) clone() *nstate {
+	return &nstate{
+		q:      append([]int(nil), s.q...),
+		up:     append([]bool(nil), s.up...),
+		aW:     append([]int(nil), s.aW...),
+		aY:     append([]int(nil), s.aY...),
+		groups: append([]ggroup(nil), s.groups...),
+		fns:    append([]gfn(nil), s.fns...),
+	}
+}
+
+func (sv *NSolver) quant(age float64) int {
+	return int(math.Round(age / sv.Step))
+}
+
+func (sv *NSolver) fromState(s *State) (*nstate, error) {
+	n := len(s.Queue)
+	if n != sv.Model.N() {
+		return nil, fmt.Errorf("core: state has %d servers, model %d", n, sv.Model.N())
+	}
+	g := &nstate{
+		q:  append([]int(nil), s.Queue...),
+		up: append([]bool(nil), s.Up...),
+		aW: make([]int, n),
+		aY: make([]int, n),
+	}
+	for k := 0; k < n; k++ {
+		g.aW[k] = sv.quant(s.AgeW[k])
+		g.aY[k] = sv.quant(s.AgeY[k])
+	}
+	for _, grp := range s.Groups {
+		g.groups = append(g.groups, ggroup{src: grp.Src, dst: grp.Dst, tasks: grp.Tasks, age: sv.quant(grp.Age)})
+	}
+	for _, fn := range s.FNs {
+		g.fns = append(g.fns, gfn{src: fn.Src, dst: fn.Dst, age: sv.quant(fn.Age)})
+	}
+	return g, nil
+}
+
+// key encodes the canonicalized configuration (plus deadline) as bytes.
+func (sv *NSolver) key(g *nstate, deadline int) string {
+	buf := make([]byte, 0, 16+8*len(g.q)+12*len(g.groups))
+	put := func(v int) {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	put(deadline)
+	for k := range g.q {
+		put(g.q[k])
+		if g.up[k] {
+			put(1)
+		} else {
+			put(0)
+		}
+		aw, ay := g.aW[k], g.aY[k]
+		if !g.up[k] || g.q[k] == 0 || memoryless(sv.Model.Service[k]) {
+			aw = 0
+		}
+		if !g.up[k] || memoryless(sv.Model.Failure[k]) {
+			ay = 0
+		}
+		put(aw)
+		put(ay)
+	}
+	gs := append([]ggroup(nil), g.groups...)
+	sort.Slice(gs, func(a, b int) bool {
+		if gs[a].dst != gs[b].dst {
+			return gs[a].dst < gs[b].dst
+		}
+		if gs[a].tasks != gs[b].tasks {
+			return gs[a].tasks < gs[b].tasks
+		}
+		return gs[a].age < gs[b].age
+	})
+	put(len(gs))
+	for _, grp := range gs {
+		age := grp.age
+		if memoryless(sv.Model.Transfer(grp.tasks, grp.src, grp.dst)) {
+			age = 0
+		}
+		put(grp.dst)
+		put(grp.tasks)
+		put(age)
+	}
+	if sv.TrackFN {
+		fs := append([]gfn(nil), g.fns...)
+		sort.Slice(fs, func(a, b int) bool {
+			if fs[a].src != fs[b].src {
+				return fs[a].src < fs[b].src
+			}
+			if fs[a].dst != fs[b].dst {
+				return fs[a].dst < fs[b].dst
+			}
+			return fs[a].age < fs[b].age
+		})
+		put(len(fs))
+		for _, fn := range fs {
+			age := fn.age
+			if sv.Model.FN != nil && memoryless(sv.Model.FN(fn.src, fn.dst)) {
+				age = 0
+			}
+			put(fn.src)
+			put(fn.dst)
+			put(age)
+		}
+	}
+	return string(buf)
+}
+
+func (sv *NSolver) agedAt(d dist.Dist, steps int) dist.Dist {
+	if steps == 0 || memoryless(d) {
+		return d
+	}
+	a := float64(steps) * sv.Step
+	if a > sv.AgeCap {
+		a = sv.AgeCap
+	}
+	for a > 0 && d.Survival(a) <= 0 {
+		a -= sv.Step
+	}
+	if a <= 0 {
+		return d
+	}
+	return d.Aged(a)
+}
+
+func (sv *NSolver) activeClocks(g *nstate) []clock {
+	var cs []clock
+	for k := range g.q {
+		if g.up[k] && g.q[k] > 0 {
+			cs = append(cs, clock{kind: ckService, idx: k, resid: sv.agedAt(sv.Model.Service[k], g.aW[k])})
+		}
+		if g.up[k] {
+			if _, never := sv.Model.Failure[k].(dist.Never); !never {
+				cs = append(cs, clock{kind: ckFailure, idx: k, resid: sv.agedAt(sv.Model.Failure[k], g.aY[k])})
+			}
+		}
+	}
+	for i, grp := range g.groups {
+		cs = append(cs, clock{kind: ckGroup, idx: i, resid: sv.agedAt(sv.Model.Transfer(grp.tasks, grp.src, grp.dst), grp.age)})
+	}
+	if sv.TrackFN && sv.Model.FN != nil {
+		for i, fn := range g.fns {
+			cs = append(cs, clock{kind: ckFN, idx: i, resid: sv.agedAt(sv.Model.FN(fn.src, fn.dst), fn.age)})
+		}
+	}
+	return cs
+}
+
+func (sv *NSolver) successor(g *nstate, c clock, adv int) *nstate {
+	n := g.clone()
+	for k := range n.q {
+		n.aW[k] += adv
+		n.aY[k] += adv
+		if !n.up[k] || n.q[k] == 0 {
+			n.aW[k] = 0
+		}
+	}
+	for i := range n.groups {
+		n.groups[i].age += adv
+	}
+	for i := range n.fns {
+		n.fns[i].age += adv
+	}
+	switch c.kind {
+	case ckService:
+		n.q[c.idx]--
+		n.aW[c.idx] = 0
+	case ckFailure:
+		k := c.idx
+		n.up[k] = false
+		n.aW[k] = 0
+		n.aY[k] = 0
+		if sv.TrackFN && sv.Model.FN != nil {
+			for j := range n.q {
+				if j != k && n.up[j] {
+					n.fns = append(n.fns, gfn{src: k, dst: j, age: 0})
+				}
+			}
+		}
+	case ckGroup:
+		grp := n.groups[c.idx]
+		n.groups = append(n.groups[:c.idx:c.idx], n.groups[c.idx+1:]...)
+		if n.up[grp.dst] && n.q[grp.dst] == 0 {
+			n.aW[grp.dst] = 0
+		}
+		n.q[grp.dst] += grp.tasks
+	case ckFN:
+		n.fns = append(n.fns[:c.idx:c.idx], n.fns[c.idx+1:]...)
+	}
+	return n
+}
+
+// Reliability returns R_∞(S) for an n-server configuration.
+func (sv *NSolver) Reliability(s *State) (float64, error) {
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoRel == nil {
+		sv.memoRel = make(map[string]float64)
+	}
+	return sv.value(g, mReliability, -1)
+}
+
+// MeanTime returns T̄(S); the model must be reliable.
+func (sv *NSolver) MeanTime(s *State) (float64, error) {
+	if !sv.Model.Reliable() {
+		return 0, fmt.Errorf("core: mean execution time requires reliable servers (dist.Never failures)")
+	}
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoMean == nil {
+		sv.memoMean = make(map[string]float64)
+	}
+	return sv.value(g, mMean, -1)
+}
+
+// QoS returns P(T(S) < tm).
+func (sv *NSolver) QoS(s *State, tm float64) (float64, error) {
+	if tm < 0 || math.IsNaN(tm) {
+		return 0, fmt.Errorf("core: invalid deadline %g", tm)
+	}
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoQoS == nil {
+		sv.memoQoS = make(map[string]float64)
+	}
+	return sv.value(g, mQoS, sv.quant(tm))
+}
+
+func (sv *NSolver) memo(metric metricKind) map[string]float64 {
+	switch metric {
+	case mReliability:
+		return sv.memoRel
+	case mMean:
+		return sv.memoMean
+	default:
+		return sv.memoQoS
+	}
+}
+
+// value is the same event-split integral recursion as Solver.value, over
+// slice-based n-server configurations.
+func (sv *NSolver) value(g *nstate, metric metricKind, deadline int) (float64, error) {
+	doomed := false
+	done := true
+	for k := range g.q {
+		if !g.up[k] && g.q[k] > 0 {
+			doomed = true
+		}
+		if g.q[k] > 0 {
+			done = false
+		}
+	}
+	for _, grp := range g.groups {
+		if !g.up[grp.dst] {
+			doomed = true
+		}
+	}
+	if len(g.groups) > 0 {
+		done = false
+	}
+	switch metric {
+	case mReliability:
+		if doomed {
+			return 0, nil
+		}
+		if done {
+			return 1, nil
+		}
+	case mMean:
+		if doomed {
+			return 0, fmt.Errorf("core: failure state reached in mean-time recursion")
+		}
+		if done {
+			return 0, nil
+		}
+	case mQoS:
+		if doomed || deadline <= 0 {
+			return 0, nil
+		}
+		if done {
+			return 1, nil
+		}
+	}
+
+	memo := sv.memo(metric)
+	key := sv.key(g, deadline)
+	if v, ok := memo[key]; ok {
+		return v, nil
+	}
+	if sv.MaxStates > 0 && len(memo) >= sv.MaxStates {
+		return 0, fmt.Errorf("core: memo table exceeded MaxStates=%d (coarsen Step=%g, shrink the workload, or use Algorithm 1)",
+			sv.MaxStates, sv.Step)
+	}
+
+	clocks := sv.activeClocks(g)
+	if len(clocks) == 0 {
+		return 0, fmt.Errorf("core: deadlocked configuration %+v", g)
+	}
+
+	maxCells := int(sv.Horizon / sv.Step)
+	if metric == mQoS && deadline < maxCells {
+		maxCells = deadline
+	}
+
+	surv := make([]float64, len(clocks))
+	for i := range surv {
+		surv[i] = 1
+	}
+	var result, accMean float64
+	joint := 1.0
+	pIn := make([]float64, len(clocks))
+	for cell := 0; cell < maxCells && joint > sv.EpsSurvival; cell++ {
+		t1 := float64(cell+1) * sv.Step
+		nextJoint := 1.0
+		for i, c := range clocks {
+			s1 := c.resid.Survival(t1)
+			if surv[i] > 0 {
+				pIn[i] = 1 - s1/surv[i]
+			} else {
+				pIn[i] = 0
+			}
+			surv[i] = s1
+			nextJoint *= s1
+		}
+		cellMass := joint - nextJoint
+		joint = nextJoint
+		if cellMass <= 0 {
+			continue
+		}
+		var wsum float64
+		for _, p := range pIn {
+			wsum += p
+		}
+		if wsum <= 0 {
+			continue
+		}
+		if metric == mMean {
+			accMean += cellMass * (float64(cell) + 0.5) * sv.Step
+		}
+		for i, c := range clocks {
+			if pIn[i] == 0 {
+				continue
+			}
+			prob := cellMass * pIn[i] / wsum
+			succ := sv.successor(g, c, cell+1)
+			nd := -1
+			if metric == mQoS {
+				nd = deadline - (cell + 1)
+			}
+			v, err := sv.value(succ, metric, nd)
+			if err != nil {
+				return 0, err
+			}
+			result += prob * v
+		}
+	}
+	if metric == mMean {
+		result += accMean
+	}
+	memo[key] = result
+	return result, nil
+}
+
+// States reports the number of memoized configurations.
+func (sv *NSolver) States() int {
+	return len(sv.memoRel) + len(sv.memoMean) + len(sv.memoQoS)
+}

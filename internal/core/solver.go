@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtr/dist"
+)
+
+// Solver evaluates the three metrics of Theorem 1 for a two-server DCS by
+// the age-dependent regeneration recursion: condition on the first event
+// (a task service, a server failure, an FN arrival or a group arrival),
+// integrate over the regeneration time, and recurse into the
+// configuration that emerges — with every clock aged by the elapsed time.
+//
+// The recursion is over a continuum of ages, so the solver works on a
+// uniform age grid of step Step: every age, deadline and integration
+// variable is quantized to the grid, and value functions are memoized on
+// the quantized configuration. The result converges to the exact value as
+// Step → 0 (see the convergence ablation in the benchmarks); the
+// companion packages internal/markov (exponential inputs) and
+// internal/direct (canonical scenarios) provide exact references the
+// tests validate against.
+type Solver struct {
+	Model *Model
+
+	// Step is the age-grid resolution h. Smaller is more accurate and
+	// more expensive; a useful default is the smallest mean among the
+	// active distributions divided by 10.
+	Step float64
+
+	// Horizon bounds every integral: joint survival beyond Horizon is
+	// truncated (and counted as failure for reliability/QoS, as lost mass
+	// for the mean). It must be large enough that the workload is almost
+	// surely finished (or a failure has occurred) within it.
+	Horizon float64
+
+	// AgeCap clamps clock ages: an age beyond AgeCap is treated as
+	// AgeCap when aging a distribution. Heavy-tailed laws change slowly
+	// at large ages, so a cap of several means costs little accuracy and
+	// keeps the memo table bounded.
+	AgeCap float64
+
+	// EpsSurvival truncates the event integral once the joint survival
+	// drops below it.
+	EpsSurvival float64
+
+	// TrackFN, when true, includes failure-notice packets as regeneration
+	// events (the paper's full event set). The metrics are invariant to
+	// FN traffic — no control action depends on it in this model — so
+	// false (the default) marginalizes the FN clocks out exactly and
+	// shrinks the state space. Tests verify the invariance.
+	TrackFN bool
+
+	// MaxStates aborts the recursion if the memo table exceeds this many
+	// entries (0 = unlimited). A blown budget indicates the grid is too
+	// fine for the scenario; the error reports the offending sizes.
+	MaxStates int
+
+	memoRel  map[memoKey]float64
+	memoMean map[memoKey]float64
+	memoQoS  map[memoKey]float64
+}
+
+// NewSolver returns a solver for a two-server model with a sensible
+// default grid derived from the model's means.
+func NewSolver(m *Model) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N() != 2 {
+		return nil, fmt.Errorf("core: exact regeneration solver supports 2 servers, model has %d (use Algorithm 1 for more)", m.N())
+	}
+	minMean := math.Inf(1)
+	for _, d := range m.Service {
+		if mu := d.Mean(); mu < minMean {
+			minMean = mu
+		}
+	}
+	return &Solver{
+		Model:       m,
+		Step:        minMean / 10,
+		Horizon:     400 * minMean,
+		AgeCap:      20 * minMean,
+		EpsSurvival: 1e-9,
+	}, nil
+}
+
+// memoKey is the quantized configuration the value functions are keyed
+// on. Ages are in grid steps; memoryless clocks are normalized to age 0
+// (their aged law equals their fresh law, so the value cannot depend on
+// the age). deadline is in grid steps, or -1 when the metric has none.
+type memoKey struct {
+	q1, q2   int32
+	up1, up2 bool
+	aW1, aW2 int32
+	aY1, aY2 int32
+	groups   [4]groupKey
+	fns      [2]fnKey
+	deadline int32
+}
+
+type groupKey struct {
+	dst, tasks, age int32
+}
+
+type fnKey struct {
+	src, dst, age int32
+	live          bool
+}
+
+// gstate is the solver's internal grid state: the State of the model with
+// all ages held as integer grid steps.
+type gstate struct {
+	q      [2]int
+	up     [2]bool
+	aW     [2]int
+	aY     [2]int
+	groups []ggroup
+	fns    []gfn
+}
+
+type ggroup struct {
+	src, dst, tasks, age int
+}
+
+type gfn struct {
+	src, dst, age int
+}
+
+// fromState quantizes a State onto the grid.
+func (sv *Solver) fromState(s *State) (*gstate, error) {
+	if len(s.Queue) != 2 {
+		return nil, fmt.Errorf("core: solver state must have 2 servers, got %d", len(s.Queue))
+	}
+	g := &gstate{}
+	for k := 0; k < 2; k++ {
+		g.q[k] = s.Queue[k]
+		g.up[k] = s.Up[k]
+		g.aW[k] = sv.quant(s.AgeW[k])
+		g.aY[k] = sv.quant(s.AgeY[k])
+	}
+	if len(s.Groups) > 4 {
+		return nil, fmt.Errorf("core: solver supports at most 4 in-flight groups, got %d", len(s.Groups))
+	}
+	for _, grp := range s.Groups {
+		g.groups = append(g.groups, ggroup{src: grp.Src, dst: grp.Dst, tasks: grp.Tasks, age: sv.quant(grp.Age)})
+	}
+	if len(s.FNs) > 2 {
+		return nil, fmt.Errorf("core: solver supports at most 2 in-flight FN packets, got %d", len(s.FNs))
+	}
+	for _, fn := range s.FNs {
+		g.fns = append(g.fns, gfn{src: fn.Src, dst: fn.Dst, age: sv.quant(fn.Age)})
+	}
+	return g, nil
+}
+
+func (sv *Solver) quant(age float64) int {
+	return int(math.Round(age / sv.Step))
+}
+
+// key canonicalizes a gstate (+ deadline) into a memo key.
+func (sv *Solver) key(g *gstate, deadline int) memoKey {
+	k := memoKey{
+		q1: int32(g.q[0]), q2: int32(g.q[1]),
+		up1: g.up[0], up2: g.up[1],
+		deadline: int32(deadline),
+	}
+	// Memoryless normalization: exponential (and Never) clocks carry no
+	// age information.
+	for i := 0; i < 2; i++ {
+		aw, ay := int32(g.aW[i]), int32(g.aY[i])
+		if !g.up[i] || g.q[i] == 0 || memoryless(sv.Model.Service[i]) {
+			aw = 0
+		}
+		if !g.up[i] || memoryless(sv.Model.Failure[i]) {
+			ay = 0
+		}
+		if i == 0 {
+			k.aW1, k.aY1 = aw, ay
+		} else {
+			k.aW2, k.aY2 = aw, ay
+		}
+	}
+	gs := append([]ggroup(nil), g.groups...)
+	sort.Slice(gs, func(a, b int) bool {
+		if gs[a].dst != gs[b].dst {
+			return gs[a].dst < gs[b].dst
+		}
+		if gs[a].tasks != gs[b].tasks {
+			return gs[a].tasks < gs[b].tasks
+		}
+		return gs[a].age < gs[b].age
+	})
+	for i, grp := range gs {
+		age := int32(grp.age)
+		if memoryless(sv.Model.Transfer(grp.tasks, grp.src, grp.dst)) {
+			age = 0
+		}
+		k.groups[i] = groupKey{dst: int32(grp.dst + 1), tasks: int32(grp.tasks), age: age}
+	}
+	fs := append([]gfn(nil), g.fns...)
+	sort.Slice(fs, func(a, b int) bool {
+		if fs[a].src != fs[b].src {
+			return fs[a].src < fs[b].src
+		}
+		return fs[a].age < fs[b].age
+	})
+	for i, fn := range fs {
+		age := int32(fn.age)
+		if sv.Model.FN != nil && memoryless(sv.Model.FN(fn.src, fn.dst)) {
+			age = 0
+		}
+		k.fns[i] = fnKey{src: int32(fn.src + 1), dst: int32(fn.dst + 1), age: age, live: true}
+	}
+	return k
+}
+
+// memoryless reports distributions whose aged law equals the fresh law.
+func memoryless(d dist.Dist) bool {
+	switch d.(type) {
+	case dist.Exponential, *dist.Exponential, dist.Never, *dist.Never:
+		return true
+	}
+	return false
+}
+
+// agedAt returns d aged by `steps` grid steps, clamped at AgeCap.
+func (sv *Solver) agedAt(d dist.Dist, steps int) dist.Dist {
+	if steps == 0 || memoryless(d) {
+		return d
+	}
+	a := float64(steps) * sv.Step
+	if a > sv.AgeCap {
+		a = sv.AgeCap
+	}
+	// Guard against aging past the support of bounded laws: clamp to a
+	// survival floor. This can only trigger through AgeCap rounding.
+	for a > 0 && d.Survival(a) <= 0 {
+		a -= sv.Step
+	}
+	if a <= 0 {
+		return d
+	}
+	return d.Aged(a)
+}
+
+// clock is an active regeneration-event source with its residual law.
+type clock struct {
+	kind  clockKind
+	idx   int // server for service/failure, group/fn slice index otherwise
+	resid dist.Dist
+}
+
+type clockKind int
+
+const (
+	ckService clockKind = iota
+	ckFailure
+	ckFN
+	ckGroup
+)
+
+// activeClocks enumerates the regeneration-event sources of g: τ_a is the
+// minimum of their residual times.
+func (sv *Solver) activeClocks(g *gstate) []clock {
+	var cs []clock
+	for k := 0; k < 2; k++ {
+		if g.up[k] && g.q[k] > 0 {
+			cs = append(cs, clock{kind: ckService, idx: k, resid: sv.agedAt(sv.Model.Service[k], g.aW[k])})
+		}
+		if g.up[k] {
+			if _, never := sv.Model.Failure[k].(dist.Never); !never {
+				cs = append(cs, clock{kind: ckFailure, idx: k, resid: sv.agedAt(sv.Model.Failure[k], g.aY[k])})
+			}
+		}
+	}
+	for i, grp := range g.groups {
+		cs = append(cs, clock{kind: ckGroup, idx: i, resid: sv.agedAt(sv.Model.Transfer(grp.tasks, grp.src, grp.dst), grp.age)})
+	}
+	if sv.TrackFN && sv.Model.FN != nil {
+		for i, fn := range g.fns {
+			cs = append(cs, clock{kind: ckFN, idx: i, resid: sv.agedAt(sv.Model.FN(fn.src, fn.dst), fn.age)})
+		}
+	}
+	return cs
+}
+
+// successor applies the regeneration event c after `adv` grid steps have
+// elapsed, returning the emergent configuration (ages advanced, the
+// triggering clock resolved).
+func (sv *Solver) successor(g *gstate, c clock, adv int) *gstate {
+	n := &gstate{q: g.q, up: g.up}
+	for k := 0; k < 2; k++ {
+		n.aW[k] = g.aW[k] + adv
+		n.aY[k] = g.aY[k] + adv
+		if !n.up[k] || n.q[k] == 0 {
+			n.aW[k] = 0
+		}
+	}
+	n.groups = append(n.groups, g.groups...)
+	for i := range n.groups {
+		n.groups[i].age += adv
+	}
+	if sv.TrackFN {
+		n.fns = append(n.fns, g.fns...)
+		for i := range n.fns {
+			n.fns[i].age += adv
+		}
+	}
+	switch c.kind {
+	case ckService:
+		n.q[c.idx]--
+		n.aW[c.idx] = 0
+	case ckFailure:
+		k := c.idx
+		n.up[k] = false
+		n.aW[k] = 0
+		n.aY[k] = 0
+		if sv.TrackFN && sv.Model.FN != nil {
+			for j := 0; j < 2; j++ {
+				if j != k && n.up[j] {
+					n.fns = append(n.fns, gfn{src: k, dst: j, age: 0})
+				}
+			}
+		}
+	case ckGroup:
+		grp := n.groups[c.idx]
+		n.groups = append(n.groups[:c.idx:c.idx], n.groups[c.idx+1:]...)
+		if n.up[grp.dst] {
+			wasEmpty := n.q[grp.dst] == 0
+			n.q[grp.dst] += grp.tasks
+			if wasEmpty {
+				n.aW[grp.dst] = 0 // fresh service clock for the new batch
+			}
+		} else {
+			// Tasks delivered to a failed server are lost; record them in
+			// the queue so the doomed check sees them.
+			n.q[grp.dst] += grp.tasks
+		}
+	case ckFN:
+		n.fns = append(n.fns[:c.idx:c.idx], n.fns[c.idx+1:]...)
+	}
+	return n
+}
+
+// metricKind selects the value function being computed.
+type metricKind int
+
+const (
+	mReliability metricKind = iota
+	mMean
+	mQoS
+)
+
+// Reliability returns R_∞(S) = P(T(S) < ∞), the probability that the
+// whole workload is served before any task is stranded on a failed
+// server.
+func (sv *Solver) Reliability(s *State) (float64, error) {
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoRel == nil {
+		sv.memoRel = make(map[memoKey]float64)
+	}
+	return sv.value(g, mReliability, -1)
+}
+
+// MeanTime returns T̄(S) = E[T(S)], defined only for models whose servers
+// are all reliable (dist.Never failures).
+func (sv *Solver) MeanTime(s *State) (float64, error) {
+	if !sv.Model.Reliable() {
+		return 0, fmt.Errorf("core: mean execution time requires reliable servers (dist.Never failures)")
+	}
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoMean == nil {
+		sv.memoMean = make(map[memoKey]float64)
+	}
+	return sv.value(g, mMean, -1)
+}
+
+// QoS returns R_TM(S) = P(T(S) < TM), the probability the workload
+// finishes within the deadline TM.
+func (sv *Solver) QoS(s *State, tm float64) (float64, error) {
+	if tm < 0 || math.IsNaN(tm) {
+		return 0, fmt.Errorf("core: invalid deadline %g", tm)
+	}
+	g, err := sv.fromState(s)
+	if err != nil {
+		return 0, err
+	}
+	if sv.memoQoS == nil {
+		sv.memoQoS = make(map[memoKey]float64)
+	}
+	return sv.value(g, mQoS, sv.quant(tm))
+}
+
+// value is the memoized age-dependent regeneration recursion.
+func (sv *Solver) value(g *gstate, metric metricKind, deadline int) (float64, error) {
+	// Terminal configurations.
+	doomed := false
+	for k := 0; k < 2; k++ {
+		if !g.up[k] && g.q[k] > 0 {
+			doomed = true
+		}
+	}
+	for _, grp := range g.groups {
+		if !g.up[grp.dst] {
+			doomed = true // will arrive at a dead server: unrecoverable
+		}
+	}
+	done := g.q[0] == 0 && g.q[1] == 0 && len(g.groups) == 0
+	switch metric {
+	case mReliability:
+		if doomed {
+			return 0, nil
+		}
+		if done {
+			return 1, nil
+		}
+	case mMean:
+		if doomed {
+			return 0, fmt.Errorf("core: failure state reached in mean-time recursion")
+		}
+		if done {
+			return 0, nil
+		}
+	case mQoS:
+		if doomed || deadline <= 0 {
+			return 0, nil
+		}
+		if done {
+			return 1, nil
+		}
+	}
+
+	memo := sv.memo(metric)
+	key := sv.key(g, deadline)
+	if v, ok := memo[key]; ok {
+		return v, nil
+	}
+	if sv.MaxStates > 0 && len(memo) >= sv.MaxStates {
+		return 0, fmt.Errorf("core: memo table exceeded MaxStates=%d (coarsen Step=%g or lower Horizon=%g)",
+			sv.MaxStates, sv.Step, sv.Horizon)
+	}
+	// Reserve the key to guard against cycles (none exist structurally:
+	// every event consumes a task, a server or a message, but a bug here
+	// would otherwise recurse forever).
+	memo[key] = math.NaN()
+
+	clocks := sv.activeClocks(g)
+	if len(clocks) == 0 {
+		// Not done, not doomed, but nothing can happen: only possible if
+		// tasks are queued at a server whose failure already occurred
+		// (caught above) — treat as model inconsistency.
+		return 0, fmt.Errorf("core: deadlocked configuration %+v", g)
+	}
+
+	maxCells := int(sv.Horizon / sv.Step)
+	if metric == mQoS && deadline < maxCells {
+		maxCells = deadline
+	}
+
+	// Joint survival at cell boundaries and per-clock conditional in-cell
+	// firing probabilities drive the event-split integral
+	//   Σ_cells Σ_e P(τ ∈ cell, τ = clock e) · V(successor).
+	surv := make([]float64, len(clocks)) // S_e(i·h) running values
+	for i := range surv {
+		surv[i] = 1
+	}
+	var result float64
+	var accMean float64 // E[τ] accumulator (mean metric only)
+	joint := 1.0
+	for cell := 0; cell < maxCells && joint > sv.EpsSurvival; cell++ {
+		t1 := float64(cell+1) * sv.Step
+		nextJoint := 1.0
+		pIn := make([]float64, len(clocks))
+		for i, c := range clocks {
+			s1 := c.resid.Survival(t1)
+			if surv[i] > 0 {
+				pIn[i] = 1 - s1/surv[i]
+			}
+			surv[i] = s1
+			nextJoint *= s1
+		}
+		cellMass := joint - nextJoint
+		joint = nextJoint
+		if cellMass <= 0 {
+			continue
+		}
+		var wsum float64
+		for _, p := range pIn {
+			wsum += p
+		}
+		if wsum <= 0 {
+			continue
+		}
+		if metric == mMean {
+			accMean += cellMass * (float64(cell) + 0.5) * sv.Step
+		}
+		for i, c := range clocks {
+			if pIn[i] == 0 {
+				continue
+			}
+			prob := cellMass * pIn[i] / wsum
+			succ := sv.successor(g, c, cell+1)
+			var nd int
+			if metric == mQoS {
+				nd = deadline - (cell + 1)
+			} else {
+				nd = -1
+			}
+			v, err := sv.value(succ, metric, nd)
+			if err != nil {
+				return 0, err
+			}
+			result += prob * v
+		}
+	}
+	if metric == mMean {
+		result += accMean
+	}
+	memo[key] = result
+	return result, nil
+}
+
+func (sv *Solver) memo(metric metricKind) map[memoKey]float64 {
+	switch metric {
+	case mReliability:
+		return sv.memoRel
+	case mMean:
+		return sv.memoMean
+	default:
+		return sv.memoQoS
+	}
+}
+
+// States returns the number of memoized configurations across all
+// metrics, a measure of the recursion's footprint.
+func (sv *Solver) States() int {
+	return len(sv.memoRel) + len(sv.memoMean) + len(sv.memoQoS)
+}

@@ -1,0 +1,118 @@
+// Package des is a minimal discrete-event simulation core: a virtual
+// clock and a time-ordered event queue with deterministic FIFO
+// tie-breaking, on which the DCS Monte-Carlo simulator (internal/sim) and
+// the virtual-time experiments are built.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type Event struct {
+	Time   float64
+	Action func()
+
+	seq   uint64
+	index int
+}
+
+// Queue is a future-event list. The zero value is ready to use.
+type Queue struct {
+	h      eventHeap
+	nextSq uint64
+	now    float64
+}
+
+// Now returns the current virtual time (the time of the last event run).
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues action at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it is always a logic error in a simulation.
+// Events at equal times run in scheduling (FIFO) order. The returned
+// event can be cancelled.
+func (q *Queue) Schedule(t float64, action func()) *Event {
+	if t < q.now {
+		panic("des: scheduling into the past")
+	}
+	e := &Event{Time: t, Action: action, seq: q.nextSq}
+	q.nextSq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a pending event; cancelling an already-run or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.h) || q.h[e.index] != e {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports false when no events remain.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.Time
+	e.Action()
+	return true
+}
+
+// Run drives the queue until it drains or until the clock would pass
+// tmax (events beyond tmax stay pending); it returns the final clock.
+func (q *Queue) Run(tmax float64) float64 {
+	for len(q.h) > 0 && q.h[0].Time <= tmax {
+		q.Step()
+	}
+	if q.now < tmax && len(q.h) > 0 {
+		q.now = tmax
+	}
+	return q.now
+}
+
+// RunAll drives the queue until no events remain.
+func (q *Queue) RunAll() float64 {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// eventHeap orders by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,102 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(3, func() { got = append(got, 3) })
+	q.Schedule(1, func() { got = append(got, 1) })
+	q.Schedule(2, func() { got = append(got, 2) })
+	q.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if q.Now() != 3 {
+		t.Fatalf("clock: %g", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Schedule(1, func() { got = append(got, "a") })
+	q.Schedule(1, func() { got = append(got, "b") })
+	q.Schedule(1, func() { got = append(got, "c") })
+	q.RunAll()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order: %v", got)
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	var q Queue
+	var fired bool
+	q.Schedule(1, func() {
+		q.Schedule(q.Now()+1, func() { fired = true })
+	})
+	q.RunAll()
+	if !fired || q.Now() != 2 {
+		t.Fatalf("chained event: fired=%v now=%g", fired, q.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	var fired bool
+	e := q.Schedule(1, func() { fired = true })
+	q.Cancel(e)
+	q.Cancel(e) // double-cancel is a no-op
+	q.RunAll()
+	if fired {
+		t.Fatal("cancelled event ran")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(1, func() { got = append(got, 1) })
+	e := q.Schedule(2, func() { got = append(got, 2) })
+	q.Schedule(3, func() { got = append(got, 3) })
+	q.Cancel(e)
+	q.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after cancel: %v", got)
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	var q Queue
+	var count int
+	for i := 1; i <= 5; i++ {
+		q.Schedule(float64(i), func() { count++ })
+	}
+	q.Run(2.5)
+	if count != 2 {
+		t.Fatalf("ran %d events before 2.5", count)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("%d events pending", q.Len())
+	}
+	if q.Now() != 2.5 {
+		t.Fatalf("clock should advance to tmax, got %g", q.Now())
+	}
+}
+
+func TestSchedulingPastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(5, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on past scheduling")
+		}
+	}()
+	q.Schedule(1, func() {})
+}

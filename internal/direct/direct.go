@@ -1,0 +1,428 @@
+// Package direct is the fast exact solver for the paper's canonical
+// evaluation scenario: a two-server DCS that executes one DTR policy at
+// t = 0 (queues r_i = m_i − L_ij, at most one task group in flight per
+// direction, null age matrix) and then evolves without further control
+// actions.
+//
+// In that scenario the servers interact only through the two groups
+// launched at t = 0, so each server's finish time
+//
+//	F_k = max(S_{r_k}, Z_k) + S'_{g_k}
+//
+// (initial backlog sum, race with the incoming group's arrival, then the
+// batch) is independent of the other server's, and the three metrics
+// reduce to functionals of the two finish-time distributions:
+//
+//	T̄   = E[max(F_1, F_2)]
+//	R_TM = P(F_1 ≤ TM)·P(F_2 ≤ TM)
+//	R_∞  = E[S_{Y_1}(F_1)]·E[S_{Y_2}(F_2)]
+//
+// The finish-time laws are built by k-fold lattice convolutions
+// (internal/gridfn), which makes full policy sweeps at the paper's scale
+// (m1 = 100, m2 = 50) feasible — this is the engine behind Figs. 1–3 and
+// Tables I–II. The general recursion of internal/core computes the same
+// quantities for arbitrary configurations and is validated against this
+// solver in the tests.
+package direct
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/fft"
+	"dtr/internal/gridfn"
+)
+
+// Solver evaluates canonical-scenario metrics on a fixed time lattice.
+type Solver struct {
+	model *core.Model
+	dx    float64
+	n     int
+
+	fsize int // FFT length for cached frequency-domain convolution
+
+	// pre[k][j] is the law of the sum of j i.i.d. service times at
+	// server k; preF[k][j] is its cached forward FFT.
+	pre  [2][]*gridfn.Lattice
+	preF [2][][]complex128
+
+	zCache map[[3]int]*gridfn.Lattice
+
+	// TailCorrect adds the single-big-jump tail-excess estimate to mean
+	// execution times: for subexponential laws (the paper's Pareto
+	// models) the probability mass beyond the lattice horizon H is
+	// dominated by one component being huge, so
+	// E[(F−H)⁺] ≈ Σ_i E[(X_i − (H − E[F − X_i]))⁺] over F's constituent
+	// draws. Light-tailed laws contribute ~0, so the correction is safe
+	// to leave on (NewSolver's default).
+	TailCorrect bool
+}
+
+// Config sizes the solver's lattice.
+type Config struct {
+	// Dx is the lattice step; 0 derives it from Horizon/N.
+	Dx float64
+	// N is the number of lattice points (power of two recommended);
+	// 0 defaults to 8192.
+	N int
+	// Horizon is the time span covered; 0 derives a horizon from the
+	// model means: 2.5× the worst-case expected completion plus transfer.
+	Horizon float64
+	// MaxQueue[k] bounds the prefix convolutions per server; it must be
+	// at least the largest queue the sweep will produce at server k
+	// (own tasks plus the largest incoming batch).
+	MaxQueue [2]int
+}
+
+// NewSolver precomputes the service-sum laws for a two-server model.
+func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.N() != 2 {
+		return nil, fmt.Errorf("direct: two-server models only, got %d servers", m.N())
+	}
+	if cfg.MaxQueue[0] <= 0 && cfg.MaxQueue[1] <= 0 {
+		return nil, fmt.Errorf("direct: Config.MaxQueue must bound the sweep queue lengths")
+	}
+	n := cfg.N
+	if n == 0 {
+		n = 8192
+	}
+	dx := cfg.Dx
+	if dx == 0 {
+		hor := cfg.Horizon
+		if hor == 0 {
+			worst := 0.0
+			for k := 0; k < 2; k++ {
+				if w := float64(cfg.MaxQueue[k]) * m.Service[k].Mean(); w > worst {
+					worst = w
+				}
+			}
+			maxG := max(cfg.MaxQueue[0], cfg.MaxQueue[1])
+			hor = 2.5 * (worst + m.Transfer(max(maxG, 1), 0, 1).Mean())
+		}
+		dx = hor / float64(n-1)
+	}
+
+	s := &Solver{
+		model:       m,
+		dx:          dx,
+		n:           n,
+		fsize:       fft.NextPow2(2*n - 1),
+		zCache:      make(map[[3]int]*gridfn.Lattice),
+		TailCorrect: true,
+	}
+	for k := 0; k < 2; k++ {
+		base := gridfn.FromCDF(m.Service[k].CDF, dx, n)
+		s.pre[k] = base.Prefixes(cfg.MaxQueue[k])
+		s.preF[k] = make([][]complex128, len(s.pre[k]))
+	}
+	return s, nil
+}
+
+// Dx returns the lattice step.
+func (s *Solver) Dx() float64 { return s.dx }
+
+// Horizon returns the last lattice time point.
+func (s *Solver) Horizon() float64 { return float64(s.n-1) * s.dx }
+
+// freqOf returns (computing lazily) the forward FFT of the j-fold service
+// sum at server k.
+func (s *Solver) freqOf(k, j int) []complex128 {
+	if f := s.preF[k][j]; f != nil {
+		return f
+	}
+	buf := make([]complex128, s.fsize)
+	for i, v := range s.pre[k][j].M {
+		buf[i] = complex(v, 0)
+	}
+	fft.Forward(buf)
+	s.preF[k][j] = buf
+	return buf
+}
+
+// convWithPrefix convolves l with the j-fold service sum at server k
+// using the cached transform; overflow and tail interactions accumulate
+// into the result's Tail exactly as gridfn.Convolve does.
+func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
+	if j == 0 {
+		return l.Clone()
+	}
+	buf := make([]complex128, s.fsize)
+	for i, v := range l.M {
+		buf[i] = complex(v, 0)
+	}
+	fft.Forward(buf)
+	pf := s.freqOf(k, j)
+	for i := range buf {
+		buf[i] *= pf[i]
+	}
+	fft.Inverse(buf)
+	out := &gridfn.Lattice{Dx: s.dx, M: make([]float64, s.n)}
+	var kept float64
+	for i := 0; i < s.n; i++ {
+		v := real(buf[i])
+		if v < 0 {
+			v = 0 // FFT round-off
+		}
+		out.M[i] = v
+		kept += v
+	}
+	var massL, massP float64
+	for _, v := range l.M {
+		massL += v
+	}
+	p := s.pre[k][j]
+	for _, v := range p.M {
+		massP += v
+	}
+	overflow := massL*massP - kept
+	if overflow < 0 {
+		overflow = 0
+	}
+	out.Tail = overflow + l.Tail*(massP+p.Tail) + p.Tail*massL
+	return out
+}
+
+// zLattice returns the lattice law of the transfer time of a group of
+// `tasks` tasks from src to dst, cached per signature.
+func (s *Solver) zLattice(tasks, src, dst int) *gridfn.Lattice {
+	key := [3]int{tasks, src, dst}
+	if l, ok := s.zCache[key]; ok {
+		return l
+	}
+	l := gridfn.FromCDF(s.model.Transfer(tasks, src, dst).CDF, s.dx, s.n)
+	s.zCache[key] = l
+	return l
+}
+
+// Finish returns the finish-time law of server k with `own` initial tasks
+// and an incoming batch of `g` tasks from server src (g = 0 for none):
+// F = max(S_own, Z) + S'_g. A server with no work finishes at time 0.
+func (s *Solver) Finish(k, own, g, src int) (*gridfn.Lattice, error) {
+	if own < 0 || g < 0 {
+		return nil, fmt.Errorf("direct: negative task counts own=%d g=%d", own, g)
+	}
+	if own >= len(s.pre[k]) || g >= len(s.pre[k]) {
+		return nil, fmt.Errorf("direct: queue %d/%d exceeds MaxQueue=%d at server %d",
+			own, g, len(s.pre[k])-1, k)
+	}
+	if g == 0 {
+		return s.pre[k][own].Clone(), nil
+	}
+	z := s.zLattice(g, src, k)
+	race := s.pre[k][own].MaxIndep(z)
+	return s.convWithPrefix(race, k, g), nil
+}
+
+// Metrics bundles the three paper metrics for one policy, along with the
+// probability mass the lattice could not represent (heavy-tail overflow):
+// Mean is exact up to that tail (which is attributed at the horizon, a
+// lower bound), QoS and Reliability treat it conservatively as failure.
+type Metrics struct {
+	Mean        float64
+	QoS         float64
+	Reliability float64
+	TailMass    float64
+}
+
+// scenario validates and splits a canonical policy application.
+func (s *Solver) scenario(m1, m2, l12, l21 int) (r1, r2 int, err error) {
+	if m1 < 0 || m2 < 0 {
+		return 0, 0, fmt.Errorf("direct: negative workload (%d, %d)", m1, m2)
+	}
+	if l12 < 0 || l21 < 0 || l12 > m1 || l21 > m2 {
+		return 0, 0, fmt.Errorf("direct: policy (L12=%d, L21=%d) infeasible for workload (%d, %d)", l12, l21, m1, m2)
+	}
+	return m1 - l12, m2 - l21, nil
+}
+
+// finishPair builds both servers' finish-time laws for the policy.
+func (s *Solver) finishPair(m1, m2, l12, l21 int) (f1, f2 *gridfn.Lattice, err error) {
+	r1, r2, err := s.scenario(m1, m2, l12, l21)
+	if err != nil {
+		return nil, nil, err
+	}
+	f1, err = s.Finish(0, r1, l21, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	f2, err = s.Finish(1, r2, l12, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f1, f2, nil
+}
+
+// MeanTime returns T̄ = E[max(F1, F2)] for the policy (L12, L21) applied
+// to the initial allocation (m1, m2). The model must be reliable.
+func (s *Solver) MeanTime(m1, m2, l12, l21 int) (float64, error) {
+	if !s.model.Reliable() {
+		return 0, fmt.Errorf("direct: mean execution time requires reliable servers")
+	}
+	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err != nil {
+		return 0, err
+	}
+	mean := f1.MaxIndep(f2).Mean()
+	if s.TailCorrect {
+		r1, r2, _ := s.scenario(m1, m2, l12, l21)
+		mean += s.tailExcess(0, r1, l21, 1) + s.tailExcess(1, r2, l12, 0)
+	}
+	return mean, nil
+}
+
+// tailExcess estimates E[(F_k − H)⁺] for the finish time of server k by
+// the single-big-jump approximation: each constituent draw (one group
+// transfer plus own+g service times) exceeds the horizon alone while the
+// others sit near their means, so the thresholds are reduced by the
+// expected remainder.
+func (s *Solver) tailExcess(k, own, g, src int) float64 {
+	h := s.Horizon()
+	w := s.model.Service[k]
+	nTasks := own + g
+	total := float64(nTasks) * w.Mean()
+	var zMean float64
+	var z dist.Dist
+	if g > 0 {
+		z = s.model.Transfer(g, src, k)
+		zMean = z.Mean()
+		total += 0 // the race with Z rarely binds in the tail regime
+	}
+	var excess float64
+	if nTasks > 0 {
+		thr := h - (total - w.Mean()) - zMean
+		if thr < 0 {
+			thr = 0
+		}
+		excess += float64(nTasks) * dist.MeanExcess(w, thr)
+	}
+	if z != nil {
+		thr := h - total
+		if thr < 0 {
+			thr = 0
+		}
+		excess += dist.MeanExcess(z, thr)
+	}
+	return excess
+}
+
+// QoS returns R_TM = Π_k E[1{F_k ≤ TM}·S_{Y_k}(F_k)]: each server must
+// both finish by the deadline and outlive its own finish time. With
+// reliable servers the failure factor is 1 and this reduces to
+// P(F1 ≤ TM)·P(F2 ≤ TM).
+func (s *Solver) QoS(m1, m2, l12, l21 int, tm float64) (float64, error) {
+	if tm < 0 || math.IsNaN(tm) {
+		return 0, fmt.Errorf("direct: invalid deadline %g", tm)
+	}
+	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err != nil {
+		return 0, err
+	}
+	return s.qosOf(f1, 0, tm) * s.qosOf(f2, 1, tm), nil
+}
+
+// qosOf computes E[1{F ≤ tm}·S_Y(F)] for server k's finish law.
+func (s *Solver) qosOf(f *gridfn.Lattice, k int, tm float64) float64 {
+	y := s.model.Failure[k]
+	if _, never := y.(dist.Never); never {
+		return f.CDFAt(tm)
+	}
+	var sum float64
+	for i, m := range f.M {
+		x := float64(i) * f.Dx
+		if x > tm {
+			break
+		}
+		if m != 0 {
+			sum += m * y.Survival(x)
+		}
+	}
+	return sum
+}
+
+// Reliability returns R_∞ = Π_k E[S_{Y_k}(F_k)]: each server must outlive
+// its own finish time; the failure laws are independent of everything
+// else, so the factors multiply.
+func (s *Solver) Reliability(m1, m2, l12, l21 int) (float64, error) {
+	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err != nil {
+		return 0, err
+	}
+	r := 1.0
+	for k, f := range []*gridfn.Lattice{f1, f2} {
+		y := s.model.Failure[k]
+		if _, never := y.(dist.Never); never {
+			continue
+		}
+		r *= f.ExpectSurvival(y.Survival, 0)
+	}
+	return r, nil
+}
+
+// CompletionCDF returns the full distribution function of the workload
+// execution time T under the policy, sampled on the solver lattice:
+// cdf[i] = P(T ≤ i·Dx()). With failure-prone servers T = ∞ with positive
+// probability, so the curve saturates at the service reliability rather
+// than 1. The QoS at any deadline is a point on this curve and the mean
+// (reliable case) is its complementary integral — the curve is what a
+// deadline-shopping caller actually wants.
+func (s *Solver) CompletionCDF(m1, m2, l12, l21 int) ([]float64, error) {
+	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err != nil {
+		return nil, err
+	}
+	cdf := make([]float64, s.n)
+	for i := range cdf {
+		cdf[i] = 1
+	}
+	for k, f := range []*gridfn.Lattice{f1, f2} {
+		y := s.model.Failure[k]
+		_, never := y.(dist.Never)
+		run := 0.0
+		for i, m := range f.M {
+			if m != 0 {
+				if never {
+					run += m
+				} else {
+					run += m * y.Survival(float64(i)*f.Dx)
+				}
+			}
+			cdf[i] *= run
+		}
+	}
+	return cdf, nil
+}
+
+// All evaluates the three metrics (and the tail diagnostics) in one pass
+// over the finish-time laws; Mean is NaN when the model is not reliable.
+func (s *Solver) All(m1, m2, l12, l21 int, tm float64) (Metrics, error) {
+	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var out Metrics
+	out.TailMass = f1.Tail + f2.Tail
+	if s.model.Reliable() {
+		out.Mean = f1.MaxIndep(f2).Mean()
+		if s.TailCorrect {
+			r1, r2, _ := s.scenario(m1, m2, l12, l21)
+			out.Mean += s.tailExcess(0, r1, l21, 1) + s.tailExcess(1, r2, l12, 0)
+		}
+	} else {
+		out.Mean = math.NaN()
+	}
+	out.QoS = s.qosOf(f1, 0, tm) * s.qosOf(f2, 1, tm)
+	out.Reliability = 1
+	for k, f := range []*gridfn.Lattice{f1, f2} {
+		y := s.model.Failure[k]
+		if _, never := y.(dist.Never); never {
+			continue
+		}
+		out.Reliability *= f.ExpectSurvival(y.Survival, 0)
+	}
+	return out, nil
+}

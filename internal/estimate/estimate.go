@@ -1,0 +1,193 @@
+// Package estimate models the queue-length information exchange that the
+// paper's problem statement assumes (§II-A): "queue-length information
+// messages are frequently exchanged by the servers. The information on
+// these messages is used by the servers to estimate the queue-length of
+// the remaining servers" — and, because the network delays every message,
+// those estimates are *dated*: server i knows server j's queue as it was
+// when the last delivered packet left j, not as it is now.
+//
+// Take runs the DCS through a warm-up period with periodic queue-length
+// broadcasts in flight and returns both the true queues at decision time
+// and each server's dated view — exactly the m̂_{j,i} inputs of
+// Algorithm 1. The staleness experiment (exper.Staleness) quantifies how
+// much policy quality decays as the information ages.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/des"
+	"dtr/internal/rngutil"
+)
+
+// Exchange describes the information-exchange regime.
+type Exchange struct {
+	// Model supplies the service laws used during warm-up (failures are
+	// not injected during warm-up: the study isolates the information
+	// effect from the failure process).
+	Model *core.Model
+	// Period is the time between queue-length broadcasts (> 0).
+	Period float64
+	// PacketDelay returns the transfer-time law of an information packet
+	// from src to dst. nil means instantaneous packets (periodic but
+	// undelayed information).
+	PacketDelay func(src, dst int) dist.Dist
+	// Seed anchors the randomness.
+	Seed uint64
+}
+
+// Snapshot is the state of knowledge at decision time.
+type Snapshot struct {
+	// Queues are the true queue lengths.
+	Queues []int
+	// Estimates[i][j] is server i's dated estimate of server j's queue
+	// (Estimates[i][i] is exact: a server knows itself).
+	Estimates [][]int
+	// SentAt[i][j] is the send time of the packet behind Estimates[i][j],
+	// or -1 if no packet arrived (the estimate is the initial allocation).
+	SentAt [][]float64
+	// Warmup is the decision time the snapshot was taken at.
+	Warmup float64
+}
+
+// MeanStaleness returns the average age of the off-diagonal estimates;
+// pairs that never received a packet count as fully stale (age = Warmup).
+func (s *Snapshot) MeanStaleness() float64 {
+	var sum float64
+	var cnt int
+	for i := range s.SentAt {
+		for j := range s.SentAt[i] {
+			if i == j {
+				continue
+			}
+			if s.SentAt[i][j] < 0 {
+				sum += s.Warmup
+			} else {
+				sum += s.Warmup - s.SentAt[i][j]
+			}
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// MaxAbsError returns the largest |estimate − truth| across server pairs,
+// a direct measure of how wrong the dated information is.
+func (s *Snapshot) MaxAbsError() int {
+	worst := 0
+	for i := range s.Estimates {
+		for j := range s.Estimates[i] {
+			d := s.Estimates[i][j] - s.Queues[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Take simulates the DCS serving its workload for warmup time units with
+// periodic queue-length broadcasts and returns the snapshot at decision
+// time. Estimates default to the initial allocation until a first packet
+// arrives — the best information available at t = 0.
+func (e *Exchange) Take(initial []int, warmup float64, realization int) (*Snapshot, error) {
+	if err := e.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Period <= 0 || math.IsNaN(e.Period) {
+		return nil, fmt.Errorf("estimate: Period must be positive, got %g", e.Period)
+	}
+	if warmup < 0 || math.IsNaN(warmup) {
+		return nil, fmt.Errorf("estimate: negative warmup %g", warmup)
+	}
+	n := e.Model.N()
+	if len(initial) != n {
+		return nil, fmt.Errorf("estimate: %d servers but %d initial queues", n, len(initial))
+	}
+
+	r := rngutil.Stream(e.Seed, realization)
+	var q des.Queue
+
+	snap := &Snapshot{
+		Queues: append([]int(nil), initial...),
+		Warmup: warmup,
+	}
+	for i := 0; i < n; i++ {
+		snap.Estimates = append(snap.Estimates, append([]int(nil), initial...))
+		ages := make([]float64, n)
+		for j := range ages {
+			ages[j] = -1
+		}
+		snap.SentAt = append(snap.SentAt, ages)
+	}
+
+	// Service processes.
+	var serve func(k int)
+	serve = func(k int) {
+		if snap.Queues[k] == 0 {
+			return
+		}
+		w := e.Model.Service[k].Sample(r)
+		q.Schedule(q.Now()+w, func() {
+			snap.Queues[k]--
+			serve(k)
+		})
+	}
+	for k := 0; k < n; k++ {
+		serve(k)
+	}
+
+	// Periodic broadcasts: at each tick, server j snapshots its queue and
+	// sends it to every peer with a random packet delay. Packets overtaken
+	// by fresher ones are ignored on arrival.
+	var tick func(j int, t float64)
+	tick = func(j int, t float64) {
+		if t > warmup {
+			return
+		}
+		q.Schedule(t, func() {
+			sent := q.Now()
+			value := snap.Queues[j]
+			for i := 0; i < n; i++ {
+				if i == j {
+					continue
+				}
+				var delay float64
+				if e.PacketDelay != nil {
+					delay = e.PacketDelay(j, i).Sample(r)
+				}
+				arrive := sent + delay
+				if arrive > warmup {
+					continue // still in flight at decision time
+				}
+				i := i
+				q.Schedule(arrive, func() {
+					if sent > snap.SentAt[i][j] {
+						snap.SentAt[i][j] = sent
+						snap.Estimates[i][j] = value
+					}
+				})
+			}
+			tick(j, sent+e.Period)
+		})
+	}
+	for j := 0; j < n; j++ {
+		tick(j, e.Period)
+	}
+
+	q.Run(warmup)
+	for i := 0; i < n; i++ {
+		snap.Estimates[i][i] = snap.Queues[i]
+		snap.SentAt[i][i] = warmup
+	}
+	return snap, nil
+}

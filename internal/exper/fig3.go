@@ -1,0 +1,77 @@
+package exper
+
+import (
+	"fmt"
+
+	"dtr/dist"
+	"dtr/internal/policy"
+)
+
+// Fig3 reproduces Figure 3: the Pareto-1 model under severe network
+// delay. Part (a) sweeps the mean execution time over the policy space
+// and reports the minimizer (the paper finds T̄* = 140.11 s at
+// L12 = 32, L21 = 1); part (b) sweeps the QoS within 180 s (the paper
+// finds a plateau L12 ∈ {31, 32, 33}, L21 = 1 at probability 0.988) and
+// also reports the QoS within 140 s ≈ the minimal mean time (the paper:
+// 0.471).
+func Fig3(fid Fidelity) ([]*Table, error) {
+	s, err := newCanonicalSolver(dist.FamilyPareto1, SevereDelay, true, fid)
+	if err != nil {
+		return nil, err
+	}
+
+	// Part (a): mean execution time surface (sweep L12; a band of L21).
+	ta := &Table{
+		Title:   "Fig. 3(a): Pareto 1, severe delay — mean execution time vs policy",
+		Columns: []string{"L12", "L21=0", "L21=1", "L21=2", "L21=5"},
+	}
+	l21s := []int{0, 1, 2, 5}
+	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+		row := []string{fmt.Sprintf("%d", l12)}
+		for _, l21 := range l21s {
+			v, err := s.MeanTime(M1, M2, l12, l21)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(v))
+		}
+		ta.AddRow(row...)
+	}
+	bestMean, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{})
+	if err != nil {
+		return nil, err
+	}
+	ta.Notes = append(ta.Notes, fmt.Sprintf(
+		"optimum: T̄* = %.2f s at (L12=%d, L21=%d); paper: 140.11 s at (32, 1)",
+		bestMean.Value, bestMean.L12, bestMean.L21))
+
+	// Part (b): QoS within 180 s.
+	tb := &Table{
+		Title:   fmt.Sprintf("Fig. 3(b): Pareto 1, severe delay — QoS(T<%g s) vs policy", QoSDeadline),
+		Columns: []string{"L12", "L21=0", "L21=1", "L21=2", "L21=5"},
+	}
+	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+		row := []string{fmt.Sprintf("%d", l12)}
+		for _, l21 := range l21s {
+			v, err := s.QoS(M1, M2, l12, l21, QoSDeadline)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(v))
+		}
+		tb.AddRow(row...)
+	}
+	bestQoS, err := policy.Optimize2(s, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline})
+	if err != nil {
+		return nil, err
+	}
+	qosTight, err := s.QoS(M1, M2, bestQoS.L12, bestQoS.L21, QoSDeadlineTight)
+	if err != nil {
+		return nil, err
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("optimum: QoS* = %.4f at (L12=%d, L21=%d); paper: 0.988 on the plateau L12∈{31,32,33}, L21=1",
+			bestQoS.Value, bestQoS.L12, bestQoS.L21),
+		fmt.Sprintf("QoS within %g s at that policy: %.4f; paper: 0.471", QoSDeadlineTight, qosTight))
+	return []*Table{ta, tb}, nil
+}

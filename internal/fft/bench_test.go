@@ -1,0 +1,35 @@
+package fft
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchConv(b *testing.B, n int) {
+	r := rand.New(rand.NewPCG(1, 2))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convolve(x, y)
+	}
+}
+
+func BenchmarkConvolve1k(b *testing.B)  { benchConv(b, 1<<10) }
+func BenchmarkConvolve8k(b *testing.B)  { benchConv(b, 1<<13) }
+func BenchmarkConvolve64k(b *testing.B) { benchConv(b, 1<<16) }
+
+func BenchmarkForward4k(b *testing.B) {
+	a := make([]complex128, 1<<12)
+	for i := range a {
+		a[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(a)
+	}
+}

@@ -1,0 +1,48 @@
+package gridfn
+
+import (
+	"math"
+	"testing"
+)
+
+func benchLattice(n int) *Lattice {
+	return FromCDF(func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x)
+	}, 40.0/float64(n), n)
+}
+
+func BenchmarkConvolve8k(b *testing.B) {
+	l := benchLattice(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Convolve(l)
+	}
+}
+
+func BenchmarkConvPower100(b *testing.B) {
+	l := benchLattice(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ConvPower(100)
+	}
+}
+
+func BenchmarkPrefixes50(b *testing.B) {
+	l := benchLattice(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Prefixes(50)
+	}
+}
+
+func BenchmarkMaxIndep(b *testing.B) {
+	l := benchLattice(1 << 13)
+	o := benchLattice(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MaxIndep(o)
+	}
+}

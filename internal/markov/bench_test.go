@@ -1,0 +1,47 @@
+package markov
+
+import (
+	"testing"
+
+	"dtr/internal/core"
+)
+
+// BenchmarkQoSUniformization measures the transient-absorption
+// computation on a moderate chain.
+func BenchmarkQoSUniformization(b *testing.B) {
+	m := expModel(2, 1, 50, 40, 1)
+	st, err := core.NewState(m, []int{20, 10}, core.Policy2(5, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := FromModel(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.QoS(st, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeanRecursion measures the algebraic mean-time recursion at
+// paper scale.
+func BenchmarkMeanRecursion(b *testing.B) {
+	m := expModel(2, 1, 0, 0, 1)
+	st, err := core.NewState(m, []int{100, 50}, core.Policy2(30, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := FromModel(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MeanTime(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

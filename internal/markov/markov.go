@@ -1,0 +1,429 @@
+// Package markov implements the Markovian (all-exponential) model of the
+// paper's earlier work ([2], [7]): when every random time in the DCS is
+// exponential, the memoryless property makes the age matrix redundant and
+// the three performance metrics satisfy algebraic recurrences with
+// constant coefficients — no integrals.
+//
+// The package serves two roles in the reproduction:
+//
+//  1. It is the *Markovian approximation* the paper evaluates against:
+//     Approximate replaces every law of a general model by an exponential
+//     with the same mean, exactly the mis-modeling whose cost Figs. 1–2
+//     and Tables I–II quantify.
+//  2. It is an exact, grid-free reference: on genuinely exponential
+//     inputs the age-dependent solver (internal/core) and the lattice
+//     solver (internal/direct) must agree with it, which the cross-
+//     validation tests exploit.
+//
+// Mean time and reliability come from the constant-coefficient
+// recurrences; the QoS (a transient absorption probability) is computed
+// by uniformization of the underlying continuous-time Markov chain.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/core"
+)
+
+// System is a two-server Markovian DCS described purely by rates.
+type System struct {
+	// MuService[k] is the service rate of server k.
+	MuService [2]float64
+	// LambdaFail[k] is the failure rate of server k (0 = reliable).
+	LambdaFail [2]float64
+	// TransferRate returns the delivery rate of a group of `tasks` tasks
+	// from src to dst.
+	TransferRate func(tasks, src, dst int) float64
+
+	memoMean map[mkey]float64
+	memoRel  map[mkey]float64
+}
+
+// FromModel extracts a Markovian system from a core.Model whose laws are
+// all exponential (or Never for failures); it errors if any law is not.
+func FromModel(m *core.Model) (*System, error) {
+	if m.N() != 2 {
+		return nil, fmt.Errorf("markov: two-server systems only, got %d", m.N())
+	}
+	s := &System{}
+	for k := 0; k < 2; k++ {
+		e, ok := m.Service[k].(dist.Exponential)
+		if !ok {
+			return nil, fmt.Errorf("markov: service law of server %d is %v, not exponential", k, m.Service[k])
+		}
+		s.MuService[k] = e.Rate
+		switch f := m.Failure[k].(type) {
+		case dist.Never:
+			s.LambdaFail[k] = 0
+		case dist.Exponential:
+			s.LambdaFail[k] = f.Rate
+		default:
+			return nil, fmt.Errorf("markov: failure law of server %d is %v, not exponential/never", k, m.Failure[k])
+		}
+	}
+	transfer := m.Transfer
+	s.TransferRate = func(tasks, src, dst int) float64 {
+		e, ok := transfer(tasks, src, dst).(dist.Exponential)
+		if !ok {
+			panic(fmt.Sprintf("markov: transfer law for %d tasks %d->%d is not exponential", tasks, src, dst))
+		}
+		return e.Rate
+	}
+	return s, nil
+}
+
+// Approximate builds the Markovian approximation of an arbitrary model:
+// every law is replaced by an exponential with the same mean. This is the
+// approximation whose accuracy the paper's evaluation interrogates.
+func Approximate(m *core.Model) (*System, error) {
+	if m.N() != 2 {
+		return nil, fmt.Errorf("markov: two-server systems only, got %d", m.N())
+	}
+	s := &System{}
+	for k := 0; k < 2; k++ {
+		s.MuService[k] = 1 / m.Service[k].Mean()
+		if _, never := m.Failure[k].(dist.Never); never {
+			s.LambdaFail[k] = 0
+		} else {
+			s.LambdaFail[k] = 1 / m.Failure[k].Mean()
+		}
+	}
+	transfer := m.Transfer
+	s.TransferRate = func(tasks, src, dst int) float64 {
+		return 1 / transfer(tasks, src, dst).Mean()
+	}
+	return s, nil
+}
+
+// mkey is the discrete Markovian state: queue lengths, server liveness
+// and up to four in-flight groups (dst+1, tasks), zero-padded, sorted.
+type mkey struct {
+	q1, q2   int32
+	up1, up2 bool
+	groups   [4]mgroup
+}
+
+type mgroup struct {
+	dst, tasks, src int32
+}
+
+type mstate struct {
+	q      [2]int
+	up     [2]bool
+	groups []core.Group
+}
+
+func stateOf(s *core.State) (*mstate, error) {
+	if len(s.Queue) != 2 {
+		return nil, fmt.Errorf("markov: state must have 2 servers, got %d", len(s.Queue))
+	}
+	if len(s.Groups) > 4 {
+		return nil, fmt.Errorf("markov: at most 4 in-flight groups, got %d", len(s.Groups))
+	}
+	m := &mstate{q: [2]int{s.Queue[0], s.Queue[1]}, up: [2]bool{s.Up[0], s.Up[1]}}
+	m.groups = append(m.groups, s.Groups...)
+	return m, nil
+}
+
+func (m *mstate) key() mkey {
+	k := mkey{q1: int32(m.q[0]), q2: int32(m.q[1]), up1: m.up[0], up2: m.up[1]}
+	gs := append([]core.Group(nil), m.groups...)
+	// Insertion sort by (dst, tasks, src); group lists are tiny.
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && less(gs[j], gs[j-1]); j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+	for i, g := range gs {
+		k.groups[i] = mgroup{dst: int32(g.Dst + 1), tasks: int32(g.Tasks), src: int32(g.Src)}
+	}
+	return k
+}
+
+func less(a, b core.Group) bool {
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Tasks != b.Tasks {
+		return a.Tasks < b.Tasks
+	}
+	return a.Src < b.Src
+}
+
+func (m *mstate) done() bool {
+	return m.q[0] == 0 && m.q[1] == 0 && len(m.groups) == 0
+}
+
+func (m *mstate) doomed() bool {
+	for k := 0; k < 2; k++ {
+		if !m.up[k] && m.q[k] > 0 {
+			return true
+		}
+	}
+	for _, g := range m.groups {
+		if !m.up[g.Dst] {
+			return true
+		}
+	}
+	return false
+}
+
+// transition is one exponential event: its rate and successor state.
+type transition struct {
+	rate float64
+	next *mstate
+}
+
+// transitions enumerates the regeneration events of the Markovian chain.
+func (s *System) transitions(m *mstate) []transition {
+	var ts []transition
+	for k := 0; k < 2; k++ {
+		if m.up[k] && m.q[k] > 0 && s.MuService[k] > 0 {
+			n := m.clone()
+			n.q[k]--
+			ts = append(ts, transition{rate: s.MuService[k], next: n})
+		}
+		if m.up[k] && s.LambdaFail[k] > 0 {
+			n := m.clone()
+			n.up[k] = false
+			ts = append(ts, transition{rate: s.LambdaFail[k], next: n})
+		}
+	}
+	for i, g := range m.groups {
+		n := m.clone()
+		n.groups = append(n.groups[:i:i], n.groups[i+1:]...)
+		n.q[g.Dst] += g.Tasks
+		ts = append(ts, transition{rate: s.TransferRate(g.Tasks, g.Src, g.Dst), next: n})
+	}
+	return ts
+}
+
+func (m *mstate) clone() *mstate {
+	return &mstate{q: m.q, up: m.up, groups: append([]core.Group(nil), m.groups...)}
+}
+
+// MeanTime solves the constant-coefficient recurrence
+// T̄(S) = 1/Λ + Σ_e (λ_e/Λ)·T̄(S_e); it requires reliable servers.
+func (s *System) MeanTime(st *core.State) (float64, error) {
+	if s.LambdaFail[0] > 0 || s.LambdaFail[1] > 0 {
+		return 0, fmt.Errorf("markov: mean execution time requires reliable servers")
+	}
+	m, err := stateOf(st)
+	if err != nil {
+		return 0, err
+	}
+	if s.memoMean == nil {
+		s.memoMean = make(map[mkey]float64)
+	}
+	return s.meanRec(m)
+}
+
+func (s *System) meanRec(m *mstate) (float64, error) {
+	if m.done() {
+		return 0, nil
+	}
+	k := m.key()
+	if v, ok := s.memoMean[k]; ok {
+		return v, nil
+	}
+	ts := s.transitions(m)
+	var total float64
+	for _, tr := range ts {
+		total += tr.rate
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("markov: absorbing non-final state %+v", m)
+	}
+	v := 1 / total
+	for _, tr := range ts {
+		sub, err := s.meanRec(tr.next)
+		if err != nil {
+			return 0, err
+		}
+		v += tr.rate / total * sub
+	}
+	s.memoMean[k] = v
+	return v, nil
+}
+
+// Reliability solves R(S) = Σ_e (λ_e/Λ)·R(S_e) with R = 1 on completion
+// and R = 0 on any stranded task.
+func (s *System) Reliability(st *core.State) (float64, error) {
+	m, err := stateOf(st)
+	if err != nil {
+		return 0, err
+	}
+	if s.memoRel == nil {
+		s.memoRel = make(map[mkey]float64)
+	}
+	return s.relRec(m)
+}
+
+func (s *System) relRec(m *mstate) (float64, error) {
+	if m.doomed() {
+		return 0, nil
+	}
+	if m.done() {
+		return 1, nil
+	}
+	k := m.key()
+	if v, ok := s.memoRel[k]; ok {
+		return v, nil
+	}
+	ts := s.transitions(m)
+	var total float64
+	for _, tr := range ts {
+		total += tr.rate
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("markov: absorbing non-final state %+v", m)
+	}
+	var v float64
+	for _, tr := range ts {
+		sub, err := s.relRec(tr.next)
+		if err != nil {
+			return 0, err
+		}
+		v += tr.rate / total * sub
+	}
+	s.memoRel[k] = v
+	return v, nil
+}
+
+// QoS computes P(T(S) < tm) by uniformization: the CTMC is embedded in a
+// Poisson process of rate Λ_max (the maximal exit rate over reachable
+// states), and the absorption probability by tm is the Poisson-weighted
+// sum of the DTMC's absorption probabilities by n jumps.
+func (s *System) QoS(st *core.State, tm float64) (float64, error) {
+	if tm < 0 || math.IsNaN(tm) {
+		return 0, fmt.Errorf("markov: invalid deadline %g", tm)
+	}
+	m0, err := stateOf(st)
+	if err != nil {
+		return 0, err
+	}
+	if m0.doomed() {
+		return 0, nil
+	}
+	if m0.done() {
+		if tm > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	// Enumerate the reachable state space (it is finite: queues only
+	// shrink except by deliveries of finitely many groups).
+	index := map[mkey]int{}
+	var states []*mstate
+	var outRate []float64
+	var succ [][]transition
+	var stack []*mstate
+	add := func(m *mstate) int {
+		k := m.key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, m)
+		succ = append(succ, nil)
+		outRate = append(outRate, 0)
+		stack = append(stack, m)
+		return i
+	}
+	add(m0)
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i := index[m.key()]
+		if m.done() || m.doomed() {
+			continue
+		}
+		ts := s.transitions(m)
+		succ[i] = ts
+		for _, tr := range ts {
+			outRate[i] += tr.rate
+			add(tr.next)
+		}
+	}
+	var lambdaMax float64
+	for _, r := range outRate {
+		if r > lambdaMax {
+			lambdaMax = r
+		}
+	}
+	if lambdaMax == 0 {
+		return 0, fmt.Errorf("markov: no active transitions from %+v", m0)
+	}
+
+	// DTMC step matrix P = I + Q/Λ_max applied to the "absorbed by now"
+	// indicator, iterated with Poisson(Λ_max·tm) weights.
+	n := len(states)
+	absorbed := make([]float64, n) // P(done | start here, k jumps so far)
+	for i, m := range states {
+		if m.done() {
+			absorbed[i] = 1
+		}
+	}
+	result := 0.0
+	// Poisson(Λ_max·tm) weights in log space (the naive recurrence
+	// underflows for large Λ·tm), run until the cumulative weight covers
+	// 1-1e-12 or the absorption vector has converged.
+	lt := lambdaMax * tm
+	poisLog := func(j int) float64 {
+		lg, _ := math.Lgamma(float64(j) + 1)
+		return -lt + float64(j)*math.Log(lt) - lg
+	}
+	start := index[m0.key()]
+	if lt == 0 {
+		return absorbed[start], nil
+	}
+	w := math.Exp(poisLog(0))
+	cum := w
+	result += w * absorbed[start]
+	maxJumps := int(lt + 12*math.Sqrt(lt+1) + 50)
+	cur := absorbed
+	next := make([]float64, n)
+	for j := 1; j <= maxJumps && cum < 1-1e-12; j++ {
+		var delta float64
+		for i := range next {
+			m := states[i]
+			if m.done() {
+				next[i] = 1
+				continue
+			}
+			if m.doomed() {
+				next[i] = 0
+				continue
+			}
+			v := (1 - outRate[i]/lambdaMax) * cur[i]
+			for _, tr := range succ[i] {
+				v += tr.rate / lambdaMax * cur[index[tr.next.key()]]
+			}
+			if d := math.Abs(v - cur[i]); d > delta {
+				delta = d
+			}
+			next[i] = v
+		}
+		cur, next = next, cur
+		w = math.Exp(poisLog(j))
+		cum += w
+		result += w * cur[start]
+		// Once the jump-chain absorption vector is stationary, the
+		// remaining Poisson mass contributes the limiting value exactly.
+		if delta < 1e-15 {
+			result += (1 - cum) * cur[start]
+			break
+		}
+	}
+	return result, nil
+}
+
+// States reports the number of memoized configurations, a cost metric.
+func (s *System) States() int {
+	return len(s.memoMean) + len(s.memoRel)
+}

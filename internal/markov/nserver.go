@@ -1,0 +1,358 @@
+package markov
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"dtr/dist"
+	"dtr/internal/core"
+)
+
+// NSystem is the n-server Markovian DCS: the constant-coefficient
+// recursions of the paper's refs [2],[7] generalized beyond two servers.
+// It serves as the exact exponential reference for the n-server
+// age-dependent solver (core.NSolver) in the cross-validation tests.
+type NSystem struct {
+	// Mu[k] is the service rate of server k.
+	Mu []float64
+	// Lambda[k] is the failure rate of server k (0 = reliable).
+	Lambda []float64
+	// TransferRate returns the delivery rate of a group.
+	TransferRate func(tasks, src, dst int) float64
+
+	memoMean map[string]float64
+	memoRel  map[string]float64
+}
+
+// NFromModel extracts an n-server Markovian system from an
+// all-exponential core.Model.
+func NFromModel(m *core.Model) (*NSystem, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &NSystem{}
+	for k := 0; k < m.N(); k++ {
+		e, ok := m.Service[k].(dist.Exponential)
+		if !ok {
+			return nil, fmt.Errorf("markov: service law of server %d is %v, not exponential", k, m.Service[k])
+		}
+		s.Mu = append(s.Mu, e.Rate)
+		switch f := m.Failure[k].(type) {
+		case dist.Never:
+			s.Lambda = append(s.Lambda, 0)
+		case dist.Exponential:
+			s.Lambda = append(s.Lambda, f.Rate)
+		default:
+			return nil, fmt.Errorf("markov: failure law of server %d is %v, not exponential/never", k, m.Failure[k])
+		}
+	}
+	transfer := m.Transfer
+	s.TransferRate = func(tasks, src, dst int) float64 {
+		e, ok := transfer(tasks, src, dst).(dist.Exponential)
+		if !ok {
+			panic(fmt.Sprintf("markov: transfer law for %d tasks %d->%d is not exponential", tasks, src, dst))
+		}
+		return e.Rate
+	}
+	return s, nil
+}
+
+// nmstate is the discrete n-server Markov state.
+type nmstate struct {
+	q      []int
+	up     []bool
+	groups []core.Group
+}
+
+func nstateOf(s *core.State) *nmstate {
+	return &nmstate{
+		q:      append([]int(nil), s.Queue...),
+		up:     append([]bool(nil), s.Up...),
+		groups: append([]core.Group(nil), s.Groups...),
+	}
+}
+
+func (m *nmstate) clone() *nmstate {
+	return &nmstate{
+		q:      append([]int(nil), m.q...),
+		up:     append([]bool(nil), m.up...),
+		groups: append([]core.Group(nil), m.groups...),
+	}
+}
+
+func (m *nmstate) key() string {
+	buf := make([]byte, 0, 8*len(m.q)+8*len(m.groups))
+	for k := range m.q {
+		buf = binary.AppendVarint(buf, int64(m.q[k]))
+		if m.up[k] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	gs := append([]core.Group(nil), m.groups...)
+	sort.Slice(gs, func(a, b int) bool {
+		if gs[a].Dst != gs[b].Dst {
+			return gs[a].Dst < gs[b].Dst
+		}
+		if gs[a].Tasks != gs[b].Tasks {
+			return gs[a].Tasks < gs[b].Tasks
+		}
+		return gs[a].Src < gs[b].Src
+	})
+	for _, g := range gs {
+		buf = binary.AppendVarint(buf, int64(g.Dst))
+		buf = binary.AppendVarint(buf, int64(g.Tasks))
+		buf = binary.AppendVarint(buf, int64(g.Src))
+	}
+	return string(buf)
+}
+
+func (m *nmstate) done() bool {
+	for _, q := range m.q {
+		if q > 0 {
+			return false
+		}
+	}
+	return len(m.groups) == 0
+}
+
+func (m *nmstate) doomed() bool {
+	for k := range m.q {
+		if !m.up[k] && m.q[k] > 0 {
+			return true
+		}
+	}
+	for _, g := range m.groups {
+		if !m.up[g.Dst] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *NSystem) transitions(m *nmstate) []ntransition {
+	var ts []ntransition
+	for k := range m.q {
+		if m.up[k] && m.q[k] > 0 && s.Mu[k] > 0 {
+			n := m.clone()
+			n.q[k]--
+			ts = append(ts, ntransition{rate: s.Mu[k], next: n})
+		}
+		if m.up[k] && s.Lambda[k] > 0 {
+			n := m.clone()
+			n.up[k] = false
+			ts = append(ts, ntransition{rate: s.Lambda[k], next: n})
+		}
+	}
+	for i, g := range m.groups {
+		n := m.clone()
+		n.groups = append(n.groups[:i:i], n.groups[i+1:]...)
+		n.q[g.Dst] += g.Tasks
+		ts = append(ts, ntransition{rate: s.TransferRate(g.Tasks, g.Src, g.Dst), next: n})
+	}
+	return ts
+}
+
+type ntransition struct {
+	rate float64
+	next *nmstate
+}
+
+// MeanTime solves T̄(S) = 1/Λ + Σ (λ_e/Λ)·T̄(S_e); reliable servers only.
+func (s *NSystem) MeanTime(st *core.State) (float64, error) {
+	for _, l := range s.Lambda {
+		if l > 0 {
+			return 0, fmt.Errorf("markov: mean execution time requires reliable servers")
+		}
+	}
+	if s.memoMean == nil {
+		s.memoMean = make(map[string]float64)
+	}
+	return s.meanRec(nstateOf(st))
+}
+
+func (s *NSystem) meanRec(m *nmstate) (float64, error) {
+	if m.done() {
+		return 0, nil
+	}
+	k := m.key()
+	if v, ok := s.memoMean[k]; ok {
+		return v, nil
+	}
+	ts := s.transitions(m)
+	var total float64
+	for _, tr := range ts {
+		total += tr.rate
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("markov: absorbing non-final state %+v", m)
+	}
+	v := 1 / total
+	for _, tr := range ts {
+		sub, err := s.meanRec(tr.next)
+		if err != nil {
+			return 0, err
+		}
+		v += tr.rate / total * sub
+	}
+	s.memoMean[k] = v
+	return v, nil
+}
+
+// Reliability solves R(S) = Σ (λ_e/Λ)·R(S_e) with the usual boundary
+// conditions.
+func (s *NSystem) Reliability(st *core.State) (float64, error) {
+	if s.memoRel == nil {
+		s.memoRel = make(map[string]float64)
+	}
+	return s.relRec(nstateOf(st))
+}
+
+func (s *NSystem) relRec(m *nmstate) (float64, error) {
+	if m.doomed() {
+		return 0, nil
+	}
+	if m.done() {
+		return 1, nil
+	}
+	k := m.key()
+	if v, ok := s.memoRel[k]; ok {
+		return v, nil
+	}
+	ts := s.transitions(m)
+	var total float64
+	for _, tr := range ts {
+		total += tr.rate
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("markov: absorbing non-final state %+v", m)
+	}
+	var v float64
+	for _, tr := range ts {
+		sub, err := s.relRec(tr.next)
+		if err != nil {
+			return 0, err
+		}
+		v += tr.rate / total * sub
+	}
+	s.memoRel[k] = v
+	return v, nil
+}
+
+// QoS computes P(T < tm) by uniformization over the reachable n-server
+// chain, the same construction as System.QoS.
+func (s *NSystem) QoS(st *core.State, tm float64) (float64, error) {
+	if tm < 0 || math.IsNaN(tm) {
+		return 0, fmt.Errorf("markov: invalid deadline %g", tm)
+	}
+	m0 := nstateOf(st)
+	if m0.doomed() {
+		return 0, nil
+	}
+	if m0.done() {
+		if tm > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	index := map[string]int{}
+	var states []*nmstate
+	var outRate []float64
+	var succ [][]ntransition
+	var stack []*nmstate
+	add := func(m *nmstate) int {
+		k := m.key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, m)
+		succ = append(succ, nil)
+		outRate = append(outRate, 0)
+		stack = append(stack, m)
+		return i
+	}
+	add(m0)
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i := index[m.key()]
+		if m.done() || m.doomed() {
+			continue
+		}
+		ts := s.transitions(m)
+		succ[i] = ts
+		for _, tr := range ts {
+			outRate[i] += tr.rate
+			add(tr.next)
+		}
+	}
+	var lambdaMax float64
+	for _, r := range outRate {
+		if r > lambdaMax {
+			lambdaMax = r
+		}
+	}
+	if lambdaMax == 0 {
+		return 0, fmt.Errorf("markov: no active transitions from %+v", m0)
+	}
+
+	n := len(states)
+	absorbed := make([]float64, n)
+	for i, m := range states {
+		if m.done() {
+			absorbed[i] = 1
+		}
+	}
+	lt := lambdaMax * tm
+	poisLog := func(j int) float64 {
+		lg, _ := math.Lgamma(float64(j) + 1)
+		return -lt + float64(j)*math.Log(lt) - lg
+	}
+	start := index[m0.key()]
+	if lt == 0 {
+		return absorbed[start], nil
+	}
+	w := math.Exp(poisLog(0))
+	cum := w
+	result := w * absorbed[start]
+	maxJumps := int(lt + 12*math.Sqrt(lt+1) + 50)
+	cur := absorbed
+	next := make([]float64, n)
+	for j := 1; j <= maxJumps && cum < 1-1e-12; j++ {
+		var delta float64
+		for i := range next {
+			m := states[i]
+			if m.done() {
+				next[i] = 1
+				continue
+			}
+			if m.doomed() {
+				next[i] = 0
+				continue
+			}
+			v := (1 - outRate[i]/lambdaMax) * cur[i]
+			for _, tr := range succ[i] {
+				v += tr.rate / lambdaMax * cur[index[tr.next.key()]]
+			}
+			if d := math.Abs(v - cur[i]); d > delta {
+				delta = d
+			}
+			next[i] = v
+		}
+		cur, next = next, cur
+		w = math.Exp(poisLog(j))
+		cum += w
+		result += w * cur[start]
+		if delta < 1e-15 {
+			result += (1 - cum) * cur[start]
+			break
+		}
+	}
+	return result, nil
+}

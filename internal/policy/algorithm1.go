@@ -1,0 +1,194 @@
+package policy
+
+import (
+	"fmt"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/direct"
+)
+
+// Alg1Options configures Algorithm 1.
+type Alg1Options struct {
+	// Objective and Deadline select which two-server problem each pair
+	// solves ((3) for mean time, (4) for QoS/reliability).
+	Objective Objective
+	Deadline  float64
+	// K is the maximum number of refinement iterations (paper parameter).
+	K int
+	// Lambda are the eq. (5) weights; nil selects SpeedWeights for
+	// ObjMeanTime/ObjQoS and ReliabilityWeights for ObjReliability.
+	Lambda []float64
+	// Estimates[i][j] is m̂_{j,i}, server i's estimate of server j's
+	// queue; nil means perfect information (the true queues).
+	Estimates [][]int
+	// GridN and Horizon size the pairwise direct solvers
+	// (0 = defaults: 4096 points, auto horizon).
+	GridN   int
+	Horizon float64
+}
+
+// Algorithm1 computes the multi-server DTR policy of the paper's
+// Algorithm 1: each overloaded server starts from the eq. (5) plan,
+// then repeatedly re-solves the exact two-server problem against each of
+// its candidate recipients — assuming its other planned shipments already
+// happened — until the plan reaches a fixed point or K iterations pass.
+// The per-server work is at most (n−1) two-server solves per iteration,
+// so the policy scales linearly in the number of servers.
+func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	if len(queues) != n {
+		return nil, fmt.Errorf("policy: %d servers but %d queues", n, len(queues))
+	}
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	lambda := opt.Lambda
+	if lambda == nil {
+		if opt.Objective == ObjReliability {
+			lambda = ReliabilityWeights(m)
+		} else {
+			lambda = SpeedWeights(m)
+		}
+	}
+	est := opt.Estimates
+	if est == nil {
+		est = make([][]int, n)
+		for i := range est {
+			est[i] = append([]int(nil), queues...)
+		}
+	}
+
+	initial, err := InitialPolicy(queues, lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	solvers := make(map[[2]int]*direct.Solver)
+	pairSolver := func(i, j int) (*direct.Solver, error) {
+		key := [2]int{i, j}
+		if s, ok := solvers[key]; ok {
+			return s, nil
+		}
+		sub := pairModel(m, i, j)
+		maxQ := queues[i] + est[i][j] + 1
+		gridN := opt.GridN
+		if gridN == 0 {
+			gridN = 4096
+		}
+		s, err := direct.NewSolver(sub, direct.Config{
+			N:        gridN,
+			Horizon:  opt.Horizon,
+			MaxQueue: [2]int{maxQ, maxQ},
+		})
+		if err != nil {
+			return nil, err
+		}
+		solvers[key] = s
+		return s, nil
+	}
+
+	// L holds the evolving plan; only rows with initial candidates are
+	// active (a server with no planned recipients reallocates nothing,
+	// exactly as in the pseudocode's U_i construction).
+	l := make([][]int, n)
+	for i := range l {
+		l[i] = append([]int(nil), initial[i]...)
+	}
+
+	for i := 0; i < n; i++ {
+		var candidates []int
+		for j := 0; j < n; j++ {
+			if initial[i][j] > 0 {
+				candidates = append(candidates, j)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		prev := append([]int(nil), l[i]...)
+		for k := 1; k <= opt.K; k++ {
+			for _, j := range candidates {
+				// Tasks still planned for other recipients are assumed
+				// gone when solving against j.
+				others := 0
+				for _, jj := range candidates {
+					if jj != j {
+						others += l[i][jj]
+					}
+				}
+				m1 := queues[i] - others
+				if m1 < 0 {
+					m1 = 0
+				}
+				m2 := est[i][j]
+				s, err := pairSolver(i, j)
+				if err != nil {
+					return nil, err
+				}
+				res, err := Optimize2(s, m1, m2, opt.Objective, Options2{Deadline: opt.Deadline})
+				if err != nil {
+					return nil, err
+				}
+				l[i][j] = res.L12
+			}
+			converged := true
+			for _, j := range candidates {
+				if l[i][j] != prev[j] {
+					converged = false
+				}
+			}
+			if converged {
+				break
+			}
+			copy(prev, l[i])
+		}
+		// Feasibility: never ship more than the queue holds (possible if
+		// pairwise optima overlap); trim proportionally from the largest.
+		total := 0
+		for _, j := range candidates {
+			total += l[i][j]
+		}
+		for total > queues[i] {
+			maxJ := candidates[0]
+			for _, j := range candidates {
+				if l[i][j] > l[i][maxJ] {
+					maxJ = j
+				}
+			}
+			l[i][maxJ]--
+			total--
+		}
+	}
+
+	out := core.NewPolicy(n)
+	for i := range l {
+		copy(out[i], l[i])
+	}
+	if err := out.Validate(queues); err != nil {
+		return nil, fmt.Errorf("policy: Algorithm 1 produced an infeasible policy: %w", err)
+	}
+	return out, nil
+}
+
+// pairModel extracts the two-server submodel for servers (i, j), keeping
+// the original transfer and FN semantics between them.
+func pairModel(m *core.Model, i, j int) *core.Model {
+	orig := [2]int{i, j}
+	sub := &core.Model{
+		Service: []dist.Dist{m.Service[i], m.Service[j]},
+		Failure: []dist.Dist{m.Failure[i], m.Failure[j]},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			return m.Transfer(tasks, orig[src], orig[dst])
+		},
+	}
+	if m.FN != nil {
+		sub.FN = func(src, dst int) dist.Dist {
+			return m.FN(orig[src], orig[dst])
+		}
+	}
+	return sub
+}

@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/gridfn"
+	"dtr/internal/rngutil"
+)
+
+// AllocationMetrics evaluates an initial allocation with no reallocation
+// traffic: each server k independently serves alloc[k] tasks, so
+// F_k = S_{alloc[k]} and the metrics factor exactly. This is the analytic
+// form of Table II's benchmark row, where the workload starts in the
+// optimal allocation and no transfers are needed.
+type AllocationMetrics struct {
+	Mean        float64
+	QoS         float64
+	Reliability float64
+	TailMass    float64
+}
+
+// AllocationEvaluator precomputes per-server service-sum laws for fast
+// repeated evaluation of allocations (the benchmark search's inner loop).
+type AllocationEvaluator struct {
+	model *core.Model
+	pre   [][]*gridfn.Lattice
+	dx    float64
+	n     int
+}
+
+// NewAllocationEvaluator builds the evaluator; maxPer bounds the tasks
+// any single server may be assigned.
+func NewAllocationEvaluator(m *core.Model, maxPer int, gridN int, horizon float64) (*AllocationEvaluator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPer <= 0 {
+		return nil, fmt.Errorf("policy: maxPer must be positive")
+	}
+	if gridN == 0 {
+		gridN = 4096
+	}
+	if horizon == 0 {
+		worst := 0.0
+		for _, d := range m.Service {
+			if w := float64(maxPer) * d.Mean(); w > worst {
+				worst = w
+			}
+		}
+		horizon = 2.5 * worst
+	}
+	dx := horizon / float64(gridN-1)
+	ev := &AllocationEvaluator{model: m, dx: dx, n: gridN}
+	for _, d := range m.Service {
+		base := gridfn.FromCDF(d.CDF, dx, gridN)
+		ev.pre = append(ev.pre, base.Prefixes(maxPer))
+	}
+	return ev, nil
+}
+
+// Evaluate computes the metrics of an allocation (deadline 0 skips QoS).
+func (ev *AllocationEvaluator) Evaluate(alloc []int, deadline float64) (AllocationMetrics, error) {
+	if len(alloc) != ev.model.N() {
+		return AllocationMetrics{}, fmt.Errorf("policy: allocation for %d servers, model has %d", len(alloc), ev.model.N())
+	}
+	var out AllocationMetrics
+	out.Reliability = 1
+	out.QoS = 1
+	// Distribution of the max builds up one server at a time through the
+	// CDF product.
+	maxCDF := make([]float64, ev.n)
+	for i := range maxCDF {
+		maxCDF[i] = 1
+	}
+	for k, q := range alloc {
+		if q < 0 || q >= len(ev.pre[k]) {
+			return AllocationMetrics{}, fmt.Errorf("policy: allocation %d out of range at server %d", q, k)
+		}
+		f := ev.pre[k][q]
+		out.TailMass += f.Tail
+		cdf := f.CDF()
+		for i := range maxCDF {
+			maxCDF[i] *= cdf[i]
+		}
+
+		y := ev.model.Failure[k]
+		if _, never := y.(dist.Never); !never {
+			out.Reliability *= f.ExpectSurvival(y.Survival, 0)
+			if deadline > 0 {
+				var s float64
+				for i, m := range f.M {
+					x := float64(i) * f.Dx
+					if x > deadline {
+						break
+					}
+					if m != 0 {
+						s += m * y.Survival(x)
+					}
+				}
+				out.QoS *= s
+			}
+		} else if deadline > 0 {
+			out.QoS *= f.CDFAt(deadline)
+		}
+	}
+	if deadline <= 0 {
+		out.QoS = math.NaN()
+	}
+	if ev.model.Reliable() {
+		// E[max] = ∫ (1 − Π CDF_k) dt over the lattice.
+		var mean float64
+		for i := range maxCDF {
+			mean += 1 - maxCDF[i]
+		}
+		out.Mean = mean * ev.dx
+	} else {
+		out.Mean = math.NaN()
+	}
+	return out, nil
+}
+
+// SearchBestAllocation looks for the allocation of M tasks over the
+// model's servers that optimizes the objective, reproducing the paper's
+// Monte-Carlo benchmark search — here driven by the analytic evaluator,
+// with randomized restarts plus steepest-descent single-task moves.
+func SearchBestAllocation(ev *AllocationEvaluator, mTotal int, obj Objective, deadline float64, restarts int, seed uint64) ([]int, float64, error) {
+	n := ev.model.N()
+	if mTotal < 0 {
+		return nil, 0, fmt.Errorf("policy: negative workload %d", mTotal)
+	}
+	if obj == ObjQoS && deadline <= 0 {
+		return nil, 0, fmt.Errorf("policy: ObjQoS requires a deadline")
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+
+	score := func(alloc []int) (float64, error) {
+		met, err := ev.Evaluate(alloc, deadline)
+		if err != nil {
+			return 0, err
+		}
+		switch obj {
+		case ObjMeanTime:
+			return met.Mean, nil
+		case ObjQoS:
+			return met.QoS, nil
+		default:
+			return met.Reliability, nil
+		}
+	}
+
+	// Start 0: proportional to speed.
+	weights := SpeedWeights(ev.model)
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	proportional := make([]int, n)
+	assigned := 0
+	for i := range proportional {
+		proportional[i] = int(float64(mTotal) * weights[i] / wsum)
+		assigned += proportional[i]
+	}
+	for i := 0; assigned < mTotal; i = (i + 1) % n {
+		proportional[i]++
+		assigned++
+	}
+
+	bestVal := obj.worst()
+	var best []int
+	r := rngutil.Stream(seed, 0)
+	for restart := 0; restart < restarts; restart++ {
+		cur := append([]int(nil), proportional...)
+		if restart > 0 {
+			// Perturb: move a few random tasks around.
+			for moves := 0; moves < n*2; moves++ {
+				from := r.IntN(n)
+				to := r.IntN(n)
+				if cur[from] > 0 && from != to {
+					cur[from]--
+					cur[to]++
+				}
+			}
+		}
+		curVal, err := score(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Steepest descent over single-task moves.
+		for {
+			improved := false
+			bestFrom, bestTo, bestMove := -1, -1, curVal
+			for from := 0; from < n; from++ {
+				if cur[from] == 0 {
+					continue
+				}
+				for to := 0; to < n; to++ {
+					if to == from {
+						continue
+					}
+					cur[from]--
+					cur[to]++
+					v, err := score(cur)
+					cur[from]++
+					cur[to]--
+					if err != nil {
+						return nil, 0, err
+					}
+					if obj.better(v, bestMove) {
+						bestMove, bestFrom, bestTo = v, from, to
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+			cur[bestFrom]--
+			cur[bestTo]++
+			curVal = bestMove
+		}
+		if obj.better(curVal, bestVal) {
+			bestVal = curVal
+			best = append([]int(nil), cur...)
+		}
+	}
+	return best, bestVal, nil
+}

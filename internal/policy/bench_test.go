@@ -1,0 +1,47 @@
+package policy
+
+import (
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/direct"
+)
+
+// BenchmarkOptimize2 measures the coarse-to-fine 2-server policy search
+// at paper scale (100+50 tasks) on a prebuilt solver.
+func BenchmarkOptimize2(b *testing.B) {
+	m := &core.Model{
+		Service: []dist.Dist{dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1)},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewPareto(2.5, 3*float64(tasks))
+		},
+	}
+	s, err := direct.NewSolver(m, direct.Config{N: 1 << 12, Horizon: 2600, MaxQueue: [2]int{150, 150}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize2(s, 100, 50, ObjMeanTime, Options2{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1FiveServer measures the full multi-server policy
+// computation of Table II.
+func BenchmarkAlgorithm1FiveServer(b *testing.B) {
+	m := fiveServer(dist.FamilyPareto1, 3, true)
+	queues := []int{80, 50, 30, 25, 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Algorithm1(m, queues, Alg1Options{Objective: ObjMeanTime, K: 3, GridN: 1 << 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package policy implements the paper's task-reallocation machinery:
+//
+//   - the exact two-server DTR optimization problems (3) and (4) —
+//     minimize the mean execution time or maximize the QoS/reliability
+//     over the feasible (L12, L21) lattice;
+//   - the load-balancing initial policy of eq. (5);
+//   - Algorithm 1, the linear-complexity multi-server heuristic that
+//     decomposes an n-server system into pairwise two-server problems and
+//     iterates them to a fixed point;
+//   - the Monte-Carlo benchmark of Table II: a search for the best
+//     initial *allocation* (the paper's "optimal allocation" row).
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/direct"
+)
+
+// Objective selects the metric being optimized.
+type Objective int
+
+const (
+	// ObjMeanTime minimizes the mean workload execution time (problem (3)).
+	ObjMeanTime Objective = iota
+	// ObjQoS maximizes P(T < Deadline) (problem (4)).
+	ObjQoS
+	// ObjReliability maximizes P(T < ∞) (problem (4) with TM = ∞).
+	ObjReliability
+)
+
+// String returns the objective's conventional name.
+func (o Objective) String() string {
+	switch o {
+	case ObjMeanTime:
+		return "mean-time"
+	case ObjQoS:
+		return "qos"
+	case ObjReliability:
+		return "reliability"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// better reports whether a beats b under the objective's direction.
+func (o Objective) better(a, b float64) bool {
+	if o == ObjMeanTime {
+		return a < b
+	}
+	return a > b
+}
+
+func (o Objective) worst() float64 {
+	if o == ObjMeanTime {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+// Result2 is the outcome of a two-server policy search.
+type Result2 struct {
+	L12, L21    int
+	Value       float64
+	Evaluations int
+}
+
+// Options2 tunes the two-server search.
+type Options2 struct {
+	// Deadline is the QoS horizon TM (required for ObjQoS).
+	Deadline float64
+	// Exhaustive forces evaluation of every feasible (L12, L21); the
+	// default coarse-to-fine scan evaluates a strided lattice and then
+	// refines around the leaders, exploiting the smoothness of the
+	// metrics in the policy.
+	Exhaustive bool
+	// CoarseStride is the first-pass stride (0 = auto).
+	CoarseStride int
+}
+
+// evaluate computes the objective for one policy.
+func evaluate(s *direct.Solver, m1, m2, l12, l21 int, obj Objective, deadline float64) (float64, error) {
+	switch obj {
+	case ObjMeanTime:
+		return s.MeanTime(m1, m2, l12, l21)
+	case ObjQoS:
+		return s.QoS(m1, m2, l12, l21, deadline)
+	case ObjReliability:
+		return s.Reliability(m1, m2, l12, l21)
+	default:
+		return 0, fmt.Errorf("policy: unknown objective %v", obj)
+	}
+}
+
+// Optimize2 solves problems (3)/(4): it searches the feasible policy
+// lattice {0..m1}×{0..m2} for the DTR policy optimizing the objective,
+// using the canonical-scenario solver for the metric values.
+func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Result2, error) {
+	if m1 < 0 || m2 < 0 {
+		return Result2{}, fmt.Errorf("policy: negative workload (%d, %d)", m1, m2)
+	}
+	if obj == ObjQoS && opt.Deadline <= 0 {
+		return Result2{}, fmt.Errorf("policy: ObjQoS requires a positive Deadline")
+	}
+
+	best := Result2{Value: obj.worst(), L12: -1, L21: -1}
+	evals := 0
+	seen := make(map[[2]int]bool)
+	try := func(l12, l21 int) error {
+		if l12 < 0 || l21 < 0 || l12 > m1 || l21 > m2 {
+			return nil
+		}
+		// Sending tasks both ways simultaneously is feasible in the model
+		// but never optimal (the two flows could cancel); the paper's
+		// reported optima still include (L12>0, L21>0) pairs like (32, 1),
+		// so the full lattice is searched.
+		k := [2]int{l12, l21}
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		v, err := evaluate(s, m1, m2, l12, l21, obj, opt.Deadline)
+		if err != nil {
+			return err
+		}
+		evals++
+		if obj.better(v, best.Value) {
+			best = Result2{L12: l12, L21: l21, Value: v}
+		}
+		return nil
+	}
+
+	if opt.Exhaustive {
+		for l12 := 0; l12 <= m1; l12++ {
+			for l21 := 0; l21 <= m2; l21++ {
+				if err := try(l12, l21); err != nil {
+					return Result2{}, err
+				}
+			}
+		}
+		best.Evaluations = evals
+		return best, nil
+	}
+
+	stride := opt.CoarseStride
+	if stride <= 0 {
+		stride = max(1, max(m1, m2)/12)
+	}
+	// Coarse pass.
+	for l12 := 0; l12 <= m1; l12 += stride {
+		for l21 := 0; l21 <= m2; l21 += stride {
+			if err := try(l12, l21); err != nil {
+				return Result2{}, err
+			}
+		}
+	}
+	// Ensure the far edges are sampled.
+	for l21 := 0; l21 <= m2; l21 += stride {
+		if err := try(m1, l21); err != nil {
+			return Result2{}, err
+		}
+	}
+	for l12 := 0; l12 <= m1; l12 += stride {
+		if err := try(l12, m2); err != nil {
+			return Result2{}, err
+		}
+	}
+	// Refinement passes: halve the stride around the incumbent until 1.
+	for stride > 1 {
+		stride = max(1, stride/2)
+		c12, c21 := best.L12, best.L21
+		for l12 := c12 - 2*stride; l12 <= c12+2*stride; l12 += stride {
+			for l21 := c21 - 2*stride; l21 <= c21+2*stride; l21 += stride {
+				if err := try(l12, l21); err != nil {
+					return Result2{}, err
+				}
+			}
+		}
+	}
+	// Final local polish at stride 1.
+	improved := true
+	for improved {
+		improved = false
+		c12, c21 := best.L12, best.L21
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, -1}, {-1, 1}, {1, 1}, {-1, -1}} {
+			prev := best
+			if err := try(c12+d[0], c21+d[1]); err != nil {
+				return Result2{}, err
+			}
+			if best != prev {
+				improved = true
+			}
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// InitialPolicy is the eq. (5) load-balancing initializer: server i
+// computes the total system load it believes exists, gives every server a
+// share proportional to its weight Λ_j (processing speed for the
+// mean-time criterion, reliability for the reliability criterion), and
+// plans to ship its own excess to the deficient servers pro rata.
+//
+// (The equation as printed in the paper is typographically damaged; this
+// is the standard fair-share reading consistent with the surrounding
+// text, recorded in DESIGN.md.)
+func InitialPolicy(queues []int, lambda []float64) (core.Policy, error) {
+	n := len(queues)
+	if len(lambda) != n {
+		return nil, fmt.Errorf("policy: %d queues but %d weights", n, len(lambda))
+	}
+	var total float64
+	var m int
+	for i, l := range lambda {
+		if l <= 0 || math.IsNaN(l) {
+			return nil, fmt.Errorf("policy: weight %d must be positive, got %g", i, l)
+		}
+		total += l
+		if queues[i] < 0 {
+			return nil, fmt.Errorf("policy: negative queue %d", i)
+		}
+		m += queues[i]
+	}
+	target := make([]float64, n)
+	for i := range target {
+		target[i] = float64(m) * lambda[i] / total
+	}
+	var deficitSum float64
+	for j := 0; j < n; j++ {
+		if d := target[j] - float64(queues[j]); d > 0 {
+			deficitSum += d
+		}
+	}
+	p := core.NewPolicy(n)
+	if deficitSum == 0 {
+		return p, nil
+	}
+	for i := 0; i < n; i++ {
+		excess := float64(queues[i]) - target[i]
+		if excess <= 0 {
+			continue
+		}
+		sent := 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := target[j] - float64(queues[j])
+			if d <= 0 {
+				continue
+			}
+			l := int(math.Floor(excess * d / deficitSum))
+			if sent+l > queues[i] {
+				l = queues[i] - sent
+			}
+			p[i][j] = l
+			sent += l
+		}
+	}
+	return p, nil
+}
+
+// SpeedWeights returns Λ_j = 1/E[W_j], the relative-computing-power
+// criterion of eq. (5).
+func SpeedWeights(m *core.Model) []float64 {
+	w := make([]float64, m.N())
+	for i, d := range m.Service {
+		w[i] = 1 / d.Mean()
+	}
+	return w
+}
+
+// ReliabilityWeights returns Λ_j proportional to the server's expected
+// lifetime (the relative-reliability criterion of eq. (5)); reliable
+// servers get the largest finite weight present, scaled up.
+func ReliabilityWeights(m *core.Model) []float64 {
+	w := make([]float64, m.N())
+	maxFinite := 0.0
+	for i, d := range m.Failure {
+		if _, never := d.(dist.Never); never {
+			w[i] = math.Inf(1)
+			continue
+		}
+		w[i] = d.Mean()
+		if w[i] > maxFinite {
+			maxFinite = w[i]
+		}
+	}
+	if maxFinite == 0 {
+		maxFinite = 1
+	}
+	for i := range w {
+		if math.IsInf(w[i], 1) {
+			w[i] = 10 * maxFinite
+		}
+	}
+	return w
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/rngutil"
+)
+
+// greedyBalancer ships excess load from the most loaded to the least
+// loaded live server, one decision at a time.
+func greedyBalancer(chunk int) *Rebalancer {
+	return &Rebalancer{
+		Period: 1.0,
+		Decide: func(queues []int, up []bool) core.Policy {
+			n := len(queues)
+			p := core.NewPolicy(n)
+			hi, lo := -1, -1
+			for k := 0; k < n; k++ {
+				if !up[k] {
+					continue
+				}
+				if hi < 0 || queues[k] > queues[hi] {
+					hi = k
+				}
+				if lo < 0 || queues[k] < queues[lo] {
+					lo = k
+				}
+			}
+			if hi < 0 || lo < 0 || hi == lo {
+				return p
+			}
+			if diff := queues[hi] - queues[lo]; diff > 2*chunk {
+				p[hi][lo] = chunk
+			}
+			return p
+		},
+	}
+}
+
+func TestRebalancingConservesTasks(t *testing.T) {
+	m := model2(dist.NewExponential(1), dist.NewExponential(1), 0, 0, 0.2)
+	s, _ := core.NewState(m, []int{20, 0}, core.Policy2(0, 0))
+	for i := 0; i < 50; i++ {
+		o := RunControlled(m, s, rngutil.Stream(31, i), greedyBalancer(2))
+		if !o.Completed {
+			t.Fatal("reliable rebalanced run must complete")
+		}
+		if o.Served[0]+o.Served[1] != 20 {
+			t.Fatalf("served %v, want 20", o.Served)
+		}
+	}
+}
+
+// TestRebalancingBeatsStaticImbalance: with everything piled on one
+// server and no initial policy, periodic rebalancing must shorten the
+// makespan substantially.
+func TestRebalancingBeatsStaticImbalance(t *testing.T) {
+	m := model2(dist.NewExponential(1), dist.NewExponential(1), 0, 0, 0.1)
+	static, err := Estimate(m, []int{30, 0}, core.Policy2(0, 0), Options{Reps: 2000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := Estimate(m, []int{30, 0}, core.Policy2(0, 0), Options{
+		Reps: 2000, Seed: 41, Rebalance: greedyBalancer(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static: ~30 time units serially; balanced: ~15-20.
+	if dynamic.MeanTime >= static.MeanTime-3*(static.MeanTimeHalf+dynamic.MeanTimeHalf) {
+		t.Fatalf("rebalancing (%.2f) should beat static (%.2f)", dynamic.MeanTime, static.MeanTime)
+	}
+}
+
+// TestRebalancingNeverShipsInServiceTask: a rebalancer demanding more
+// than exists must be clamped, not corrupt the queues.
+func TestRebalancingClampsOverdraw(t *testing.T) {
+	m := model2(dist.NewExponential(1), dist.NewExponential(1), 0, 0, 0.2)
+	greedyAll := &Rebalancer{
+		Period: 0.5,
+		Decide: func(queues []int, up []bool) core.Policy {
+			p := core.NewPolicy(len(queues))
+			p[0][1] = 999 // demand far more than exists
+			return p
+		},
+	}
+	s, _ := core.NewState(m, []int{10, 0}, core.Policy2(0, 0))
+	o := RunControlled(m, s, rngutil.Stream(43, 0), greedyAll)
+	if !o.Completed || o.Served[0]+o.Served[1] != 10 {
+		t.Fatalf("overdraw corrupted the run: %+v", o)
+	}
+}
+
+// TestRebalancingToDeadServerDooms: shipping into a failed server loses
+// the tasks, exactly as the single-shot model does.
+func TestRebalancingToDeadServerDooms(t *testing.T) {
+	m := &core.Model{
+		Service: []dist.Dist{dist.NewDeterministic(2), dist.NewDeterministic(2)},
+		Failure: []dist.Dist{dist.Never{}, dist.NewDeterministic(0.5)},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			return dist.NewDeterministic(0.4)
+		},
+	}
+	blind := &Rebalancer{
+		Period: 1.0,
+		Decide: func(queues []int, up []bool) core.Policy {
+			p := core.NewPolicy(2)
+			p[0][1] = 1 // ignores the liveness information on purpose
+			return p
+		},
+	}
+	s, _ := core.NewState(m, []int{6, 0}, core.Policy2(0, 0))
+	o := RunControlled(m, s, rngutil.Stream(44, 0), blind)
+	if o.Completed {
+		t.Fatal("blind shipping to a dead server should doom the workload")
+	}
+}
+
+func TestRebalancingDeterministicUnderSeed(t *testing.T) {
+	m := model2(dist.NewPareto(2.5, 1), dist.NewExponential(1), 0, 0, 0.3)
+	a, err := Estimate(m, []int{15, 3}, core.Policy2(2, 0), Options{
+		Reps: 400, Seed: 45, Workers: 3, Rebalance: greedyBalancer(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(m, []int{15, 3}, core.Policy2(2, 0), Options{
+		Reps: 400, Seed: 45, Workers: 1, Rebalance: greedyBalancer(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanTime != b.MeanTime {
+		t.Fatalf("rebalanced estimates depend on worker count: %v vs %v", a.MeanTime, b.MeanTime)
+	}
+}

@@ -1,0 +1,360 @@
+// Package sim is the Monte-Carlo simulator of the DCS: a discrete-event
+// realization of exactly the stochastic model the analytic solvers
+// evaluate (general service, failure and transfer laws; permanent
+// failures; no task recovery; reliable message passing). The paper uses
+// Monte-Carlo simulation to evaluate multi-server policies (Table II) and
+// to validate the testbed predictions (Fig. 4(c)); this package plays the
+// same role here, and doubles as an independent check on the analytic
+// solvers in the tests.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/des"
+	"dtr/internal/rngutil"
+	"dtr/internal/stat"
+)
+
+// Outcome is the result of one simulated realization.
+type Outcome struct {
+	// Completed reports that every task was served (T < ∞).
+	Completed bool
+	// Time is the workload execution time when Completed (the instant the
+	// last task finished), otherwise the time at which completion became
+	// impossible.
+	Time float64
+	// Served counts tasks served per server.
+	Served []int
+	// BusyTime is the total time each server spent serving (the paper's
+	// resource-utilization discussion in §III-A compares how evenly
+	// optimal policies keep the servers busy).
+	BusyTime []float64
+	// FailuresSeen counts servers that failed before the run ended.
+	FailuresSeen int
+}
+
+// Rebalancer re-runs a DTR decision periodically during execution,
+// generalizing the canonical single-shot reallocation to the paper's
+// framing of DTR as a run-time control action. Decide sees the true
+// queue lengths and liveness (perfect, instantaneous information — an
+// idealization; see internal/estimate for the dated-information study)
+// and returns how many tasks each server ships; infeasible entries are
+// clamped to what the sender actually holds beyond its in-service task.
+type Rebalancer struct {
+	// Period between decisions (> 0); the first decision runs at Period
+	// (the t = 0 policy is the state's own group set).
+	Period float64
+	// Decide returns the shipment matrix for the observed configuration.
+	Decide func(queues []int, up []bool) core.Policy
+}
+
+// Run simulates one realization starting from state s under model m,
+// consuming randomness from r. The input state is not modified.
+func Run(m *core.Model, s *core.State, r *rand.Rand) Outcome {
+	return RunControlled(m, s, r, nil)
+}
+
+// RunControlled is Run with an optional periodic rebalancer.
+func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) Outcome {
+	n := m.N()
+	st := s.Clone()
+	var q des.Queue
+
+	out := Outcome{Served: make([]int, n), BusyTime: make([]float64, n)}
+	remainingGroups := make([]int, n) // groups still heading to each server
+
+	serviceEv := make([]*des.Event, n)
+	doomed := false
+	finished := false
+
+	totalQueued := func() int {
+		t := 0
+		for _, qq := range st.Queue {
+			t += qq
+		}
+		return t
+	}
+	pendingGroups := 0
+
+	checkDone := func() {
+		if !doomed && totalQueued() == 0 && pendingGroups == 0 {
+			finished = true
+			out.Completed = true
+			out.Time = q.Now()
+		}
+	}
+
+	var scheduleService func(k int, aged float64)
+	scheduleService = func(k int, aged float64) {
+		if !st.Up[k] || st.Queue[k] == 0 {
+			return
+		}
+		d := m.Service[k]
+		if aged > 0 {
+			d = d.Aged(aged)
+		}
+		w := d.Sample(r)
+		serviceEv[k] = q.Schedule(q.Now()+w, func() {
+			serviceEv[k] = nil
+			st.Queue[k]--
+			out.Served[k]++
+			out.BusyTime[k] += w
+			if st.Queue[k] > 0 {
+				scheduleService(k, 0)
+			}
+			checkDone()
+		})
+	}
+
+	// Failure clocks.
+	for k := 0; k < n; k++ {
+		if !st.Up[k] {
+			continue
+		}
+		if _, never := m.Failure[k].(dist.Never); never {
+			continue
+		}
+		fd := m.Failure[k]
+		if st.AgeY[k] > 0 {
+			fd = fd.Aged(st.AgeY[k])
+		}
+		y := fd.Sample(r)
+		if math.IsInf(y, 1) {
+			continue
+		}
+		k := k
+		q.Schedule(q.Now()+y, func() {
+			if !st.Up[k] || finished || doomed {
+				return
+			}
+			st.Up[k] = false
+			out.FailuresSeen++
+			if serviceEv[k] != nil {
+				q.Cancel(serviceEv[k])
+				serviceEv[k] = nil
+			}
+			if st.Queue[k] > 0 || remainingGroups[k] > 0 {
+				doomed = true
+				out.Time = q.Now()
+			}
+		})
+	}
+
+	// dispatch launches a task group into the network: one transfer draw
+	// (aged for groups already in flight at t = 0), then delivery —
+	// fatally late if the destination has meanwhile failed.
+	dispatch := func(src, dst, tasks int, age float64) {
+		td := m.Transfer(tasks, src, dst)
+		if age > 0 {
+			td = td.Aged(age)
+		}
+		z := td.Sample(r)
+		pendingGroups++
+		remainingGroups[dst]++
+		q.Schedule(q.Now()+z, func() {
+			pendingGroups--
+			remainingGroups[dst]--
+			if doomed || finished {
+				return
+			}
+			if !st.Up[dst] {
+				doomed = true
+				out.Time = q.Now()
+				return
+			}
+			wasIdle := st.Queue[dst] == 0
+			st.Queue[dst] += tasks
+			if wasIdle {
+				scheduleService(dst, 0)
+			}
+		})
+	}
+
+	// In-flight groups of the initial state.
+	for _, g := range st.Groups {
+		dispatch(g.Src, g.Dst, g.Tasks, g.Age)
+	}
+
+	// Periodic rebalancing decisions, if configured. The tick count is
+	// capped so a pathological model (a task that can never be served)
+	// cannot keep the event loop alive forever; once ticking stops, the
+	// queue drains and the run resolves through the usual outcome logic.
+	if rb != nil && rb.Period > 0 && rb.Decide != nil {
+		const maxTicks = 1 << 20
+		ticks := 0
+		var tickRb func(t float64)
+		tickRb = func(t float64) {
+			ticks++
+			if ticks > maxTicks {
+				return
+			}
+			q.Schedule(t, func() {
+				if finished || doomed {
+					return
+				}
+				pol := rb.Decide(append([]int(nil), st.Queue...), append([]bool(nil), st.Up...))
+				if pol != nil {
+					for i := range pol {
+						if i >= n || !st.Up[i] {
+							continue
+						}
+						// The task in service cannot be shipped.
+						shippable := st.Queue[i]
+						if serviceEv[i] != nil {
+							shippable--
+						}
+						for j := range pol[i] {
+							l := pol[i][j]
+							if j == i || j >= n || l <= 0 {
+								continue
+							}
+							if l > shippable {
+								l = shippable
+							}
+							if l <= 0 {
+								continue
+							}
+							st.Queue[i] -= l
+							shippable -= l
+							dispatch(i, j, l, 0)
+						}
+					}
+				}
+				tickRb(q.Now() + rb.Period)
+			})
+		}
+		tickRb(rb.Period)
+	}
+
+	// Services in progress at t = 0.
+	for k := 0; k < n; k++ {
+		scheduleService(k, st.AgeW[k])
+	}
+
+	checkDone() // trivially empty workloads complete at t = 0
+
+	for !finished && !doomed && q.Step() {
+	}
+	if !finished && !doomed {
+		// Queue drained without completion: only possible when a task
+		// can never be served (e.g. Never service law) — treat as doomed.
+		doomed = true
+		out.Time = q.Now()
+	}
+	return out
+}
+
+// Options configures a Monte-Carlo estimation run.
+type Options struct {
+	// Reps is the number of independent realizations (required).
+	Reps int
+	// Seed makes the whole estimate deterministic; replication i uses
+	// rngutil.Stream(Seed, i) regardless of worker scheduling.
+	Seed uint64
+	// Workers bounds the worker pool (default: GOMAXPROCS).
+	Workers int
+	// Deadline is the QoS threshold TM; 0 disables the QoS estimate.
+	Deadline float64
+	// Level is the confidence level for intervals (default 0.95).
+	Level float64
+	// Rebalance, when non-nil, re-runs a DTR decision periodically in
+	// every replication (see Rebalancer).
+	Rebalance *Rebalancer
+}
+
+// Estimates summarizes a Monte-Carlo run; every metric carries the
+// half-width of its confidence interval at Options.Level, matching the
+// paper's "centers of 95% confidence intervals" reporting.
+type Estimates struct {
+	Reps int
+	// Reliability is the fraction of realizations that completed.
+	Reliability, ReliabilityHalf float64
+	// QoS is the fraction that completed within Deadline (NaN if the
+	// deadline was not set).
+	QoS, QoSHalf float64
+	// MeanTime is the average execution time over *completed*
+	// realizations (the unconditional mean when every run completes).
+	MeanTime, MeanTimeHalf float64
+	Completed              int
+}
+
+// Estimate runs Monte-Carlo replications of the canonical scenario:
+// initial allocation + DTR policy at t = 0.
+func Estimate(m *core.Model, initial []int, p core.Policy, opt Options) (Estimates, error) {
+	s, err := core.NewState(m, initial, p)
+	if err != nil {
+		return Estimates{}, err
+	}
+	return EstimateState(m, s, opt)
+}
+
+// EstimateState runs Monte-Carlo replications from an arbitrary state.
+func EstimateState(m *core.Model, s *core.State, opt Options) (Estimates, error) {
+	if err := m.Validate(); err != nil {
+		return Estimates{}, err
+	}
+	if opt.Reps <= 0 {
+		return Estimates{}, fmt.Errorf("sim: Options.Reps must be positive, got %d", opt.Reps)
+	}
+	level := opt.Level
+	if level == 0 {
+		level = 0.95
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Reps {
+		workers = opt.Reps
+	}
+
+	outcomes := make([]Outcome, opt.Reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+			}
+		}()
+	}
+	for i := 0; i < opt.Reps; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	est := Estimates{Reps: opt.Reps}
+	var times []float64
+	within := 0
+	for _, o := range outcomes {
+		if o.Completed {
+			est.Completed++
+			times = append(times, o.Time)
+			if opt.Deadline > 0 && o.Time < opt.Deadline {
+				within++
+			}
+		}
+	}
+	est.Reliability, est.ReliabilityHalf = stat.ProportionCI(est.Completed, opt.Reps, level)
+	if opt.Deadline > 0 {
+		est.QoS, est.QoSHalf = stat.ProportionCI(within, opt.Reps, level)
+	} else {
+		est.QoS, est.QoSHalf = math.NaN(), math.NaN()
+	}
+	if len(times) > 0 {
+		est.MeanTime, est.MeanTimeHalf = stat.MeanCI(times, level)
+	} else {
+		est.MeanTime, est.MeanTimeHalf = math.NaN(), math.NaN()
+	}
+	return est, nil
+}

@@ -1,0 +1,53 @@
+package specfn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGammaPQ checks the structural invariants of the incomplete gamma
+// pair on arbitrary inputs: range, complementarity and monotonicity.
+func FuzzGammaPQ(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.5, 2.0)
+	f.Add(100.0, 90.0)
+	f.Add(1e-3, 1e-6)
+	f.Add(50.0, 200.0)
+	f.Fuzz(func(t *testing.T, a, x float64) {
+		if !(a > 0) || !(x >= 0) || math.IsInf(a, 0) || math.IsInf(x, 0) {
+			return
+		}
+		if a > 1e6 || x > 1e6 {
+			return // asymptotic regime out of scope
+		}
+		p := GammaP(a, x)
+		q := GammaQ(a, x)
+		if math.IsNaN(p) || p < -1e-12 || p > 1+1e-12 {
+			t.Fatalf("P(%g,%g) = %g out of range", a, x, p)
+		}
+		if math.Abs(p+q-1) > 1e-9 {
+			t.Fatalf("P+Q = %g at (%g,%g)", p+q, a, x)
+		}
+		if x2 := x * 1.5; x2 > x {
+			if GammaP(a, x2) < p-1e-9 {
+				t.Fatalf("P not monotone at (%g, %g→%g)", a, x, x2)
+			}
+		}
+	})
+}
+
+// FuzzNormQuantileRoundTrip checks Φ(Φ⁻¹(p)) = p across the unit interval.
+func FuzzNormQuantileRoundTrip(f *testing.F) {
+	f.Add(0.5)
+	f.Add(1e-10)
+	f.Add(0.975)
+	f.Fuzz(func(t *testing.T, p float64) {
+		if !(p > 0) || !(p < 1) {
+			return
+		}
+		x := NormQuantile(p)
+		if got := NormCDF(x); math.Abs(got-p) > 1e-9 {
+			t.Fatalf("round trip %g -> %g -> %g", p, x, got)
+		}
+	})
+}

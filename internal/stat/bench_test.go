@@ -1,0 +1,23 @@
+package stat
+
+import (
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/rngutil"
+)
+
+// BenchmarkFitAll measures the full Fig. 4(a,b) fitting pipeline on a
+// 5000-sample Pareto draw.
+func BenchmarkFitAll(b *testing.B) {
+	d := dist.Pareto{Xm: 3, Alpha: 2.6}
+	r := rngutil.Stream(1, 0)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitAll(xs, 60)
+	}
+}

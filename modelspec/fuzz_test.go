@@ -1,0 +1,42 @@
+package modelspec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the JSON loader: it must reject or
+// build cleanly, never panic, and anything it builds must validate.
+func FuzzParse(f *testing.F) {
+	f.Add(testbedJSON)
+	f.Add(`{}`)
+	f.Add(`{"servers":[{"queue":1,"service":{"type":"exponential","mean":1}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
+	f.Add(`{"servers":[{"queue":0,"service":{"type":"never"}}],"transfer":{"type":"pareto","perTaskMean":2,"alpha":1.5}}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		m, initial, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted spec builds invalid model: %v\n%s", err, doc)
+		}
+		if len(initial) != m.N() {
+			t.Fatalf("allocation/servers mismatch: %d vs %d", len(initial), m.N())
+		}
+		for _, q := range initial {
+			if q < 0 {
+				t.Fatalf("negative queue from accepted spec")
+			}
+		}
+		// Every law the model hands out must be usable.
+		for k := 0; k < m.N(); k++ {
+			if m.Service[k].Mean() <= 0 {
+				t.Fatalf("non-positive service mean at %d", k)
+			}
+		}
+		if z := m.Transfer(3, 0, m.N()-1); z.Mean() <= 0 {
+			t.Fatalf("non-positive transfer mean")
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package modelspec loads DCS models from declarative JSON
+// specifications, so tools (cmd/dtrplan) and configuration-driven
+// deployments can describe a system without writing Go:
+//
+//	{
+//	  "servers": [
+//	    {"queue": 50, "service": {"type": "pareto", "mean": 4.858, "alpha": 2.614},
+//	     "failure": {"type": "exponential", "mean": 300}},
+//	    {"queue": 25, "service": {"type": "pareto", "mean": 2.357, "alpha": 2.614},
+//	     "failure": {"type": "exponential", "mean": 150}}
+//	  ],
+//	  "transfer": {"type": "shifted-gamma", "perTaskMean": 1.207,
+//	               "shape": 2, "shiftFrac": 0.55}
+//	}
+//
+// The transfer (and optional fn) sections describe the *per-task* group
+// transfer law: a group of L tasks gets a single draw from the family
+// with mean perTaskMean·L, matching the paper's group-transfer semantics.
+package modelspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dtr"
+	"dtr/dist"
+)
+
+// DistSpec describes one distribution. Type selects the family; the
+// other fields parameterize it (unused fields may be omitted):
+//
+//	exponential          mean
+//	shifted-exponential  mean, shiftFrac (shift = shiftFrac·mean; default 0.5)
+//	pareto               mean, alpha (> 1; default 2.5)
+//	uniform              low, high  (or mean: [mean/2, 3·mean/2])
+//	gamma                mean, shape (default 2)
+//	shifted-gamma        mean, shape (default 2), shiftFrac (default 0.5)
+//	weibull              mean, shape (default 0.7)
+//	lognormal            mean, sigma (default 1)
+//	hyperexponential     mean, scv (squared coefficient of variation > 1; default 4)
+//	deterministic        value (or mean)
+//	never                (no parameters; failure laws only)
+type DistSpec struct {
+	Type      string  `json:"type"`
+	Mean      float64 `json:"mean,omitempty"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	Shape     float64 `json:"shape,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+	Scv       float64 `json:"scv,omitempty"`
+	ShiftFrac float64 `json:"shiftFrac,omitempty"`
+	Low       float64 `json:"low,omitempty"`
+	High      float64 `json:"high,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+}
+
+// Dist materializes the specification (withMean overrides the Mean field
+// when positive — used by the per-task transfer scaling).
+func (s DistSpec) build(withMean float64) (dist.Dist, error) {
+	mean := s.Mean
+	if withMean > 0 {
+		mean = withMean
+	}
+	needMean := func() error {
+		if mean <= 0 {
+			return fmt.Errorf("modelspec: %q needs a positive mean, got %g", s.Type, mean)
+		}
+		return nil
+	}
+	switch s.Type {
+	case "exponential":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		return dist.NewExponential(mean), nil
+	case "shifted-exponential":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		frac := s.ShiftFrac
+		if frac == 0 {
+			frac = 0.5
+		}
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("modelspec: shiftFrac must be in [0, 1), got %g", frac)
+		}
+		return dist.NewShiftedExponential(frac*mean, mean), nil
+	case "pareto":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		alpha := s.Alpha
+		if alpha == 0 {
+			alpha = 2.5
+		}
+		if alpha <= 1 {
+			return nil, fmt.Errorf("modelspec: pareto alpha must exceed 1, got %g", alpha)
+		}
+		return dist.NewPareto(alpha, mean), nil
+	case "uniform":
+		if s.Low != 0 || s.High != 0 {
+			if !(s.Low < s.High) || s.Low < 0 {
+				return nil, fmt.Errorf("modelspec: invalid uniform [%g, %g]", s.Low, s.High)
+			}
+			return dist.NewUniform(s.Low, s.High), nil
+		}
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		return dist.NewUniform(mean/2, 3*mean/2), nil
+	case "gamma":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		shape := s.Shape
+		if shape == 0 {
+			shape = 2
+		}
+		return dist.NewGamma(shape, mean), nil
+	case "shifted-gamma":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		shape := s.Shape
+		if shape == 0 {
+			shape = 2
+		}
+		frac := s.ShiftFrac
+		if frac == 0 {
+			frac = 0.5
+		}
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("modelspec: shiftFrac must be in [0, 1), got %g", frac)
+		}
+		return dist.NewShiftedGammaMean(frac*mean, shape, mean), nil
+	case "weibull":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		shape := s.Shape
+		if shape == 0 {
+			shape = 0.7
+		}
+		return dist.NewWeibull(shape, mean), nil
+	case "lognormal":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		sigma := s.Sigma
+		if sigma == 0 {
+			sigma = 1
+		}
+		return dist.NewLogNormal(sigma, mean), nil
+	case "hyperexponential":
+		if err := needMean(); err != nil {
+			return nil, err
+		}
+		scv := s.Scv
+		if scv == 0 {
+			scv = 4
+		}
+		if scv <= 1 {
+			return nil, fmt.Errorf("modelspec: hyperexponential scv must exceed 1, got %g", scv)
+		}
+		return dist.NewHyperExponential2(mean, scv), nil
+	case "deterministic":
+		v := s.Value
+		if v == 0 {
+			v = mean
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("modelspec: deterministic value must be non-negative, got %g", v)
+		}
+		return dist.NewDeterministic(v), nil
+	case "never":
+		return dist.Never{}, nil
+	case "":
+		return nil, fmt.Errorf("modelspec: distribution type missing")
+	default:
+		return nil, fmt.Errorf("modelspec: unknown distribution type %q", s.Type)
+	}
+}
+
+// Dist materializes a standalone distribution specification.
+func (s DistSpec) Dist() (dist.Dist, error) { return s.build(0) }
+
+// ServerSpec describes one server: its queue at t = 0, its service law,
+// and an optional failure law (absent = reliable).
+type ServerSpec struct {
+	Queue   int       `json:"queue"`
+	Service DistSpec  `json:"service"`
+	Failure *DistSpec `json:"failure,omitempty"`
+}
+
+// TransferSpec describes the group-transfer (or failure-notice) law:
+// a group of L tasks draws once from the family with mean PerTaskMean·L.
+type TransferSpec struct {
+	DistSpec
+	PerTaskMean float64 `json:"perTaskMean"`
+}
+
+// SystemSpec is the root document.
+type SystemSpec struct {
+	Servers  []ServerSpec  `json:"servers"`
+	Transfer TransferSpec  `json:"transfer"`
+	FN       *TransferSpec `json:"fn,omitempty"`
+}
+
+// Build materializes the specification into a model and its initial
+// allocation.
+func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
+	if len(s.Servers) == 0 {
+		return nil, nil, fmt.Errorf("modelspec: no servers")
+	}
+	if s.Transfer.PerTaskMean <= 0 {
+		return nil, nil, fmt.Errorf("modelspec: transfer.perTaskMean must be positive, got %g", s.Transfer.PerTaskMean)
+	}
+	m := &dtr.Model{}
+	var initial []int
+	for i, srv := range s.Servers {
+		if srv.Queue < 0 {
+			return nil, nil, fmt.Errorf("modelspec: server %d has negative queue %d", i, srv.Queue)
+		}
+		service, err := srv.Service.Dist()
+		if err != nil {
+			return nil, nil, fmt.Errorf("modelspec: server %d service: %w", i, err)
+		}
+		var failure dist.Dist = dist.Never{}
+		if srv.Failure != nil {
+			failure, err = srv.Failure.Dist()
+			if err != nil {
+				return nil, nil, fmt.Errorf("modelspec: server %d failure: %w", i, err)
+			}
+		}
+		m.Service = append(m.Service, service)
+		m.Failure = append(m.Failure, failure)
+		initial = append(initial, srv.Queue)
+	}
+
+	// Validate the transfer family once with a reference group size, then
+	// capture the spec in the closure.
+	tspec := s.Transfer
+	if _, err := tspec.build(tspec.PerTaskMean); err != nil {
+		return nil, nil, fmt.Errorf("modelspec: transfer: %w", err)
+	}
+	m.Transfer = func(tasks, src, dst int) dist.Dist {
+		if tasks < 1 {
+			tasks = 1
+		}
+		d, err := tspec.build(tspec.PerTaskMean * float64(tasks))
+		if err != nil {
+			panic(fmt.Sprintf("modelspec: transfer spec became invalid: %v", err))
+		}
+		return d
+	}
+	if s.FN != nil {
+		fspec := *s.FN
+		if fspec.PerTaskMean <= 0 {
+			return nil, nil, fmt.Errorf("modelspec: fn.perTaskMean must be positive")
+		}
+		if _, err := fspec.build(fspec.PerTaskMean); err != nil {
+			return nil, nil, fmt.Errorf("modelspec: fn: %w", err)
+		}
+		m.FN = func(src, dst int) dist.Dist {
+			d, err := fspec.build(fspec.PerTaskMean)
+			if err != nil {
+				panic(fmt.Sprintf("modelspec: fn spec became invalid: %v", err))
+			}
+			return d
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, initial, nil
+}
+
+// Parse reads a SystemSpec document from r and builds it.
+func Parse(r io.Reader) (*dtr.Model, []int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec SystemSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, fmt.Errorf("modelspec: %w", err)
+	}
+	return spec.Build()
+}
+
+// Load reads a SystemSpec document from a file and builds it.
+func Load(path string) (*dtr.Model, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("modelspec: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}

@@ -1,0 +1,69 @@
+package dtr
+
+import (
+	"time"
+
+	"dtr/internal/sim"
+	"dtr/internal/stat"
+	"dtr/internal/testbed"
+)
+
+// SimOptions configures Monte-Carlo estimation (see sim.Options).
+type SimOptions = sim.Options
+
+// SimEstimates reports Monte-Carlo metric estimates with confidence
+// intervals (see sim.Estimates).
+type SimEstimates = sim.Estimates
+
+// Rebalancer re-runs a DTR decision periodically inside each simulated
+// realization, generalizing the single-shot t = 0 policy to run-time
+// control (see sim.Rebalancer). Attach one via SimOptions.Rebalance.
+type Rebalancer = sim.Rebalancer
+
+// Simulate runs Monte-Carlo replications of this system under the policy
+// and returns metric estimates with confidence intervals. It works for
+// any number of servers and is the evaluation path for multi-server
+// policies, mirroring the paper's Table II methodology.
+func (s *System) Simulate(p Policy, opt SimOptions) (SimEstimates, error) {
+	return sim.Estimate(s.model, s.initial, p, opt)
+}
+
+// SimulateState runs Monte-Carlo replications from an arbitrary
+// age-dependent state (non-zero clock ages, groups mid-flight).
+func SimulateState(m *Model, st *State, opt SimOptions) (SimEstimates, error) {
+	return sim.EstimateState(m, st, opt)
+}
+
+// Testbed is the wall-clock message-passing testbed: goroutine servers
+// exchanging task groups and failure notices over TCP loopback in scaled
+// time (see the testbed package documentation).
+type Testbed = testbed.Testbed
+
+// TestbedOutcome is one testbed realization's result.
+type TestbedOutcome = testbed.Outcome
+
+// NewTestbed builds a testbed for the model at the given time scale
+// (0 = 1 ms per model second).
+func NewTestbed(m *Model, scale time.Duration, seed uint64) *Testbed {
+	return &Testbed{Model: m, Scale: scale, Seed: seed}
+}
+
+// Fit is a fitted candidate distribution with goodness-of-fit scores.
+type Fit = stat.Fit
+
+// FitDistributions fits every applicable candidate family to the sample
+// and returns the fits ranked by the paper's criterion: minimum total
+// squared error between the fitted pdf and the normalized histogram
+// (bins bins; 60 is a good default). This is the pipeline behind the
+// paper's empirical testbed characterization (Fig. 4(a,b)).
+func FitDistributions(samples []float64, bins int) []Fit {
+	return stat.FitAll(samples, bins)
+}
+
+// Histogram is a normalized histogram (see stat.Histogram).
+type Histogram = stat.Histogram
+
+// NewHistogram bins the sample into a normalized histogram.
+func NewHistogram(samples []float64, bins int) *Histogram {
+	return stat.NewHistogram(samples, bins)
+}

@@ -1,0 +1,260 @@
+package dtr
+
+import (
+	"fmt"
+
+	"dtr/internal/core"
+	"dtr/internal/direct"
+	"dtr/internal/policy"
+)
+
+// Model describes the DCS: per-server service and failure laws plus the
+// network's transfer behavior. See core.Model for field documentation.
+type Model = core.Model
+
+// Policy is a DTR reallocation matrix: Policy[i][j] tasks move from
+// server i to server j at t = 0.
+type Policy = core.Policy
+
+// State is the age-dependent system state S = (M, F, C, a).
+type State = core.State
+
+// Group is a task batch in transit.
+type Group = core.Group
+
+// RegenSolver is the paper's age-dependent regeneration solver
+// (Theorem 1) for arbitrary two-server configurations.
+type RegenSolver = core.Solver
+
+// NewPolicy returns an all-zero policy for n servers.
+func NewPolicy(n int) Policy { return core.NewPolicy(n) }
+
+// Policy2 returns the two-server policy (L12, L21).
+func Policy2(l12, l21 int) Policy { return core.Policy2(l12, l21) }
+
+// NewState builds the canonical post-reallocation state: queues reduced
+// by the policy, every shipment a fresh in-flight group, null age matrix.
+func NewState(m *Model, initial []int, p Policy) (*State, error) {
+	return core.NewState(m, initial, p)
+}
+
+// NewRegenSolver returns the age-dependent regeneration solver for a
+// two-server model with default grid settings (tune Step/Horizon/AgeCap
+// on the returned value).
+func NewRegenSolver(m *Model) (*RegenSolver, error) {
+	return core.NewSolver(m)
+}
+
+// System couples a model with an initial task allocation and provides
+// the paper's metrics and optimizers. The analytic metric methods cover
+// the canonical scenario (a single reallocation at t = 0) on two-server
+// systems — exactly the setting of the paper's exact characterization;
+// n-server systems are served by Simulate and Algorithm1.
+type System struct {
+	model   *Model
+	initial []int
+
+	// GridN and Horizon size the analytic solver's time lattice;
+	// zero values pick defaults (8192 points, auto horizon).
+	GridN   int
+	Horizon float64
+
+	solver *direct.Solver
+}
+
+// NewSystem validates the model and allocation and returns a System.
+func NewSystem(m *Model, initial []int) (*System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) != m.N() {
+		return nil, fmt.Errorf("dtr: %d servers but %d initial queue lengths", m.N(), len(initial))
+	}
+	for k, q := range initial {
+		if q < 0 {
+			return nil, fmt.Errorf("dtr: negative initial queue at server %d", k)
+		}
+	}
+	return &System{model: m, initial: append([]int(nil), initial...)}, nil
+}
+
+// Model returns the system's model.
+func (s *System) Model() *Model { return s.model }
+
+// Initial returns a copy of the initial allocation.
+func (s *System) Initial() []int { return append([]int(nil), s.initial...) }
+
+// direct returns (building lazily) the canonical-scenario solver.
+func (s *System) directSolver() (*direct.Solver, error) {
+	if s.model.N() != 2 {
+		return nil, fmt.Errorf("dtr: analytic metrics cover two-server systems; use Simulate or Algorithm1 for %d servers", s.model.N())
+	}
+	if s.solver == nil {
+		maxQ := s.initial[0] + s.initial[1]
+		sv, err := direct.NewSolver(s.model, direct.Config{
+			N:        s.GridN,
+			Horizon:  s.Horizon,
+			MaxQueue: [2]int{maxQ, maxQ},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.solver = sv
+	}
+	return s.solver, nil
+}
+
+// split extracts (L12, L21) from a two-server policy.
+func (s *System) split(p Policy) (int, int, error) {
+	if err := p.Validate(s.initial); err != nil {
+		return 0, 0, err
+	}
+	return p[0][1], p[1][0], nil
+}
+
+// MeanTime returns the mean workload execution time T̄ under the policy.
+// Every server must be reliable (dist.Never failure law).
+func (s *System) MeanTime(p Policy) (float64, error) {
+	sv, err := s.directSolver()
+	if err != nil {
+		return 0, err
+	}
+	l12, l21, err := s.split(p)
+	if err != nil {
+		return 0, err
+	}
+	return sv.MeanTime(s.initial[0], s.initial[1], l12, l21)
+}
+
+// QoS returns P(T < deadline) under the policy.
+func (s *System) QoS(p Policy, deadline float64) (float64, error) {
+	sv, err := s.directSolver()
+	if err != nil {
+		return 0, err
+	}
+	l12, l21, err := s.split(p)
+	if err != nil {
+		return 0, err
+	}
+	return sv.QoS(s.initial[0], s.initial[1], l12, l21, deadline)
+}
+
+// Reliability returns P(T < ∞) under the policy.
+func (s *System) Reliability(p Policy) (float64, error) {
+	sv, err := s.directSolver()
+	if err != nil {
+		return 0, err
+	}
+	l12, l21, err := s.split(p)
+	if err != nil {
+		return 0, err
+	}
+	return sv.Reliability(s.initial[0], s.initial[1], l12, l21)
+}
+
+// CompletionCDF returns the distribution function of the workload
+// execution time under the policy as a callable F(t) = P(T ≤ t),
+// evaluated by interpolation on the solver lattice. With failure-prone
+// servers the curve saturates at the service reliability (T = ∞ has
+// positive probability).
+func (s *System) CompletionCDF(p Policy) (func(float64) float64, error) {
+	sv, err := s.directSolver()
+	if err != nil {
+		return nil, err
+	}
+	l12, l21, err := s.split(p)
+	if err != nil {
+		return nil, err
+	}
+	cdf, err := sv.CompletionCDF(s.initial[0], s.initial[1], l12, l21)
+	if err != nil {
+		return nil, err
+	}
+	dx := sv.Dx()
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		pos := t / dx
+		i := int(pos)
+		if i >= len(cdf)-1 {
+			return cdf[len(cdf)-1]
+		}
+		frac := pos - float64(i)
+		return cdf[i] + frac*(cdf[i+1]-cdf[i])
+	}, nil
+}
+
+// OptimalMeanPolicy solves problem (3): the policy minimizing the mean
+// execution time. It returns the policy and the achieved minimum.
+func (s *System) OptimalMeanPolicy() (Policy, float64, error) {
+	return s.optimize(policy.ObjMeanTime, 0)
+}
+
+// OptimalQoSPolicy solves problem (4): the policy maximizing
+// P(T < deadline).
+func (s *System) OptimalQoSPolicy(deadline float64) (Policy, float64, error) {
+	return s.optimize(policy.ObjQoS, deadline)
+}
+
+// OptimalReliabilityPolicy maximizes P(T < ∞).
+func (s *System) OptimalReliabilityPolicy() (Policy, float64, error) {
+	return s.optimize(policy.ObjReliability, 0)
+}
+
+func (s *System) optimize(obj policy.Objective, deadline float64) (Policy, float64, error) {
+	if s.model.N() == 2 {
+		sv, err := s.directSolver()
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{Deadline: deadline})
+		if err != nil {
+			return nil, 0, err
+		}
+		return Policy2(res.L12, res.L21), res.Value, nil
+	}
+	p, err := s.Algorithm1(Alg1Config{Objective: Objective(obj), Deadline: deadline})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Multi-server values come from simulation; callers wanting the
+	// value should Simulate the returned policy. Report NaN-free zero.
+	return p, 0, nil
+}
+
+// Objective selects the optimization target for Algorithm1.
+type Objective = policy.Objective
+
+// Re-exported objective constants.
+const (
+	ObjMeanTime    = policy.ObjMeanTime
+	ObjQoS         = policy.ObjQoS
+	ObjReliability = policy.ObjReliability
+)
+
+// Alg1Config configures the multi-server Algorithm 1.
+type Alg1Config struct {
+	Objective Objective
+	// Deadline applies to ObjQoS.
+	Deadline float64
+	// K bounds the refinement iterations (default 5).
+	K int
+	// GridN sizes the pairwise solvers (default 4096).
+	GridN int
+	// Estimates[i][j] is server i's (possibly dated) estimate of server
+	// j's queue length; nil = perfect information.
+	Estimates [][]int
+}
+
+// Algorithm1 computes the paper's linear-complexity multi-server DTR
+// policy for this system.
+func (s *System) Algorithm1(cfg Alg1Config) (Policy, error) {
+	return policy.Algorithm1(s.model, s.initial, policy.Alg1Options{
+		Objective: cfg.Objective,
+		Deadline:  cfg.Deadline,
+		K:         cfg.K,
+		GridN:     cfg.GridN,
+		Estimates: cfg.Estimates,
+	})
+}
