@@ -1,0 +1,28 @@
+# Development targets for the dtr reproduction. Everything is pure Go
+# (stdlib only); the go toolchain is the sole dependency.
+
+GO ?= go
+
+.PHONY: all build test vet race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full suite under -race is slow (the solvers are CPU-bound); race
+# covers the packages that actually share state across goroutines.
+race:
+	$(GO) test -race ./internal/obs ./internal/sim ./internal/des ./internal/testbed
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dtr/internal/exper"
+	"dtr/internal/obs"
 )
 
 func main() {
@@ -38,15 +39,27 @@ func main() {
 	tbReps := flag.Int("testbed-reps", 0, "override testbed realizations")
 	stride := flag.Int("stride", 0, "override the L12 sweep stride")
 	seed := flag.Uint64("seed", 0, "override the experiment seed")
+	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dtrlab [-fidelity quick|full] [-csv] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: dtrlab [-fidelity quick|full] [-csv] [-metrics-addr :9090] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 fig2 table1 fig3 table2 fig4ab fig4c ablations staleness extensions all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	experiment := flag.Arg(0)
+	if flag.NArg() > 1 {
+		// Flags are also accepted after the experiment name
+		// (`dtrlab fig1 -metrics-addr :0`); stdlib flag parsing stops at
+		// the first positional argument, so parse the remainder too.
+		_ = flag.CommandLine.Parse(flag.Args()[1:]) // ExitOnError: exits on a bad flag
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 
 	var fid exper.Fidelity
@@ -57,6 +70,10 @@ func main() {
 		fid = exper.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "dtrlab: unknown fidelity %q\n", *fidName)
+		os.Exit(2)
+	}
+	if err := obsCfg.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "dtrlab: %v\n", err)
 		os.Exit(2)
 	}
 	if *mcReps > 0 {
@@ -85,6 +102,9 @@ func main() {
 	var run func(name string) error
 	run = func(name string) error {
 		started := time.Now()
+		if name != "all" {
+			defer obs.StartSpan("experiment", "name", name, "fidelity", fid.Name)()
+		}
 		defer func() {
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(started).Round(time.Millisecond))
 		}()
@@ -185,7 +205,11 @@ func main() {
 		return nil
 	}
 
-	if err := run(flag.Arg(0)); err != nil {
+	err := run(experiment)
+	if oerr := obsCfg.Stop(); oerr != nil && err == nil {
+		err = oerr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dtrlab: %v\n", err)
 		os.Exit(1)
 	}

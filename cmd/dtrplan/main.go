@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -23,11 +24,16 @@ import (
 	"strings"
 
 	"dtr"
+	"dtr/internal/obs"
 	"dtr/modelspec"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		// -h/-help: the FlagSet already printed usage; exit clean.
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
 		fmt.Fprintf(os.Stderr, "dtrplan: %v\n", err)
 		os.Exit(1)
 	}
@@ -37,6 +43,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dtrplan", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the JSON system specification (required)")
 	gridN := fs.Int("grid", 8192, "lattice points for the analytic solvers")
+	obsCfg := obs.BindFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dtrplan -model system.json <optimize|metrics|simulate|bounds|cdf> [flags]")
 		fs.PrintDefaults()
@@ -48,8 +55,19 @@ func run(args []string, out *os.File) error {
 		fs.Usage()
 		return fmt.Errorf("need -model and a subcommand")
 	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
 
-	m, initial, err := modelspec.Load(*modelPath)
+	err := plan(*modelPath, *gridN, fs.Arg(0), fs.Args()[1:], out)
+	if oerr := obsCfg.Stop(); oerr != nil && err == nil {
+		err = oerr
+	}
+	return err
+}
+
+func plan(modelPath string, gridN int, sub string, rest []string, out *os.File) error {
+	m, initial, err := modelspec.Load(modelPath)
 	if err != nil {
 		return err
 	}
@@ -57,10 +75,8 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	sys.GridN = *gridN
+	sys.GridN = gridN
 
-	sub := fs.Arg(0)
-	rest := fs.Args()[1:]
 	switch sub {
 	case "optimize":
 		return cmdOptimize(sys, rest, out)

@@ -36,6 +36,8 @@ type NSolver struct {
 	memoRel  map[string]float64
 	memoMean map[string]float64
 	memoQoS  map[string]float64
+
+	stats solverStats
 }
 
 // NewNSolver returns an n-server regeneration solver with defaults
@@ -270,6 +272,7 @@ func (sv *NSolver) Reliability(s *State) (float64, error) {
 	if sv.memoRel == nil {
 		sv.memoRel = make(map[string]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mReliability, -1)
 }
 
@@ -285,6 +288,7 @@ func (sv *NSolver) MeanTime(s *State) (float64, error) {
 	if sv.memoMean == nil {
 		sv.memoMean = make(map[string]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mMean, -1)
 }
 
@@ -300,6 +304,7 @@ func (sv *NSolver) QoS(s *State, tm float64) (float64, error) {
 	if sv.memoQoS == nil {
 		sv.memoQoS = make(map[string]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mQoS, sv.quant(tm))
 }
 
@@ -362,8 +367,10 @@ func (sv *NSolver) value(g *nstate, metric metricKind, deadline int) (float64, e
 	memo := sv.memo(metric)
 	key := sv.key(g, deadline)
 	if v, ok := memo[key]; ok {
+		sv.stats.hits++
 		return v, nil
 	}
+	sv.stats.misses++
 	if sv.MaxStates > 0 && len(memo) >= sv.MaxStates {
 		return 0, fmt.Errorf("core: memo table exceeded MaxStates=%d (coarsen Step=%g, shrink the workload, or use Algorithm 1)",
 			sv.MaxStates, sv.Step)
@@ -387,6 +394,7 @@ func (sv *NSolver) value(g *nstate, metric metricKind, deadline int) (float64, e
 	joint := 1.0
 	pIn := make([]float64, len(clocks))
 	for cell := 0; cell < maxCells && joint > sv.EpsSurvival; cell++ {
+		sv.stats.cells++
 		t1 := float64(cell+1) * sv.Step
 		nextJoint := 1.0
 		for i, c := range clocks {

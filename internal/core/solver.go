@@ -61,6 +61,8 @@ type Solver struct {
 	memoRel  map[memoKey]float64
 	memoMean map[memoKey]float64
 	memoQoS  map[memoKey]float64
+
+	stats solverStats
 }
 
 // NewSolver returns a solver for a two-server model with a sensible
@@ -365,6 +367,7 @@ func (sv *Solver) Reliability(s *State) (float64, error) {
 	if sv.memoRel == nil {
 		sv.memoRel = make(map[memoKey]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mReliability, -1)
 }
 
@@ -381,6 +384,7 @@ func (sv *Solver) MeanTime(s *State) (float64, error) {
 	if sv.memoMean == nil {
 		sv.memoMean = make(map[memoKey]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mMean, -1)
 }
 
@@ -397,6 +401,7 @@ func (sv *Solver) QoS(s *State, tm float64) (float64, error) {
 	if sv.memoQoS == nil {
 		sv.memoQoS = make(map[memoKey]float64)
 	}
+	defer func() { sv.stats.flush(sv.States()) }()
 	return sv.value(g, mQoS, sv.quant(tm))
 }
 
@@ -442,8 +447,10 @@ func (sv *Solver) value(g *gstate, metric metricKind, deadline int) (float64, er
 	memo := sv.memo(metric)
 	key := sv.key(g, deadline)
 	if v, ok := memo[key]; ok {
+		sv.stats.hits++
 		return v, nil
 	}
+	sv.stats.misses++
 	if sv.MaxStates > 0 && len(memo) >= sv.MaxStates {
 		return 0, fmt.Errorf("core: memo table exceeded MaxStates=%d (coarsen Step=%g or lower Horizon=%g)",
 			sv.MaxStates, sv.Step, sv.Horizon)
@@ -477,6 +484,7 @@ func (sv *Solver) value(g *gstate, metric metricKind, deadline int) (float64, er
 	var accMean float64 // E[τ] accumulator (mean metric only)
 	joint := 1.0
 	for cell := 0; cell < maxCells && joint > sv.EpsSurvival; cell++ {
+		sv.stats.cells++
 		t1 := float64(cell+1) * sv.Step
 		nextJoint := 1.0
 		pIn := make([]float64, len(clocks))

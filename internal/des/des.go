@@ -4,7 +4,16 @@
 // the virtual-time experiments are built.
 package des
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"dtr/internal/obs"
+)
+
+// eventsProcessed counts events run across all queues in the process —
+// the event-loop throughput of the simulators. Queues batch locally and
+// publish via FlushStats, so the hot loop never touches shared state.
+var eventsProcessed = obs.NewCounter("dtr_des_events_total")
 
 // Event is a scheduled callback.
 type Event struct {
@@ -17,9 +26,10 @@ type Event struct {
 
 // Queue is a future-event list. The zero value is ready to use.
 type Queue struct {
-	h      eventHeap
-	nextSq uint64
-	now    float64
+	h         eventHeap
+	nextSq    uint64
+	now       float64
+	processed uint64
 }
 
 // Now returns the current virtual time (the time of the last event run).
@@ -27,6 +37,18 @@ func (q *Queue) Now() float64 { return q.now }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
+
+// Processed returns the number of events run since creation or the last
+// FlushStats.
+func (q *Queue) Processed() uint64 { return q.processed }
+
+// FlushStats publishes the processed-event count to the metrics
+// registry (dtr_des_events_total) and resets it; drivers call it at
+// batch points — the Monte-Carlo simulator flushes once per replication.
+func (q *Queue) FlushStats() {
+	eventsProcessed.Add(q.processed)
+	q.processed = 0
+}
 
 // Schedule enqueues action at absolute virtual time t. Scheduling in the
 // past (t < Now) panics: it is always a logic error in a simulation.
@@ -60,6 +82,7 @@ func (q *Queue) Step() bool {
 	}
 	e := heap.Pop(&q.h).(*Event)
 	q.now = e.Time
+	q.processed++
 	e.Action()
 	return true
 }

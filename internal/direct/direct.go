@@ -133,8 +133,10 @@ func (s *Solver) Horizon() float64 { return float64(s.n-1) * s.dx }
 // sum at server k.
 func (s *Solver) freqOf(k, j int) []complex128 {
 	if f := s.preF[k][j]; f != nil {
+		fftHits.Inc()
 		return f
 	}
+	fftMisses.Inc()
 	buf := make([]complex128, s.fsize)
 	for i, v := range s.pre[k][j].M {
 		buf[i] = complex(v, 0)
@@ -192,8 +194,10 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 func (s *Solver) zLattice(tasks, src, dst int) *gridfn.Lattice {
 	key := [3]int{tasks, src, dst}
 	if l, ok := s.zCache[key]; ok {
+		zHits.Inc()
 		return l
 	}
+	zMisses.Inc()
 	l := gridfn.FromCDF(s.model.Transfer(tasks, src, dst).CDF, s.dx, s.n)
 	s.zCache[key] = l
 	return l
@@ -246,6 +250,7 @@ func (s *Solver) finishPair(m1, m2, l12, l21 int) (f1, f2 *gridfn.Lattice, err e
 	if err != nil {
 		return nil, nil, err
 	}
+	evals.Inc()
 	f1, err = s.Finish(0, r1, l21, 1)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,15 @@
+package direct
+
+import "dtr/internal/obs"
+
+// Metric handles for the canonical solver's two caches. They are lazy:
+// until obs.SetDefault installs a registry every call is a no-op costing
+// one atomic load. Evaluations are counted per finish-pair construction,
+// the unit Figs. 1–3 sweep over.
+var (
+	fftHits   = obs.NewCounter("dtr_direct_fft_cache_hits_total")
+	fftMisses = obs.NewCounter("dtr_direct_fft_cache_misses_total")
+	zHits     = obs.NewCounter("dtr_direct_transfer_cache_hits_total")
+	zMisses   = obs.NewCounter("dtr_direct_transfer_cache_misses_total")
+	evals     = obs.NewCounter("dtr_direct_evals_total")
+)

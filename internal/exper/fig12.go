@@ -5,6 +5,7 @@ import (
 
 	"dtr/dist"
 	"dtr/internal/direct"
+	"dtr/internal/obs"
 )
 
 // newCanonicalSolver builds a direct solver for the canonical scenario
@@ -40,6 +41,7 @@ func Fig1(d Delay, fid Fidelity) (*Table, error) {
 		}
 		solvers[i] = s
 	}
+	defer obs.StartSpan("sweep", "experiment", "fig1", "delay", d.String())()
 	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, s := range solvers {
@@ -76,6 +78,7 @@ func Fig2(d Delay, fid Fidelity) (*Table, error) {
 		}
 		solvers[i] = s
 	}
+	defer obs.StartSpan("sweep", "experiment", "fig2", "delay", d.String())()
 	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, s := range solvers {

@@ -5,6 +5,7 @@ import (
 
 	"dtr/internal/core"
 	"dtr/internal/direct"
+	"dtr/internal/obs"
 	"dtr/internal/policy"
 	"dtr/internal/rngutil"
 	"dtr/internal/sim"
@@ -31,6 +32,7 @@ func Fig4AB(fid Fidelity) ([]*Table, error) {
 		return xs
 	}
 	mkTable := func(title string, xs []float64) *Table {
+		defer obs.StartSpan("fit", "samples", len(xs))()
 		t := &Table{
 			Title:   title,
 			Columns: []string{"Family", "TSE", "KS", "LogLik", "FittedMean", "Fit"},

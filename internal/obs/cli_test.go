@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIDisabledIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("no flags set, Enabled must be false")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if Default() != nil {
+		t.Fatal("disabled CLI must not install a registry")
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIStartStop(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "metrics.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{
+		"-metrics-addr", "127.0.0.1:0", "-log-level", "info", "-metrics-dump", dump,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var errBuf strings.Builder
+	c.Err = &errBuf
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		SetDefault(nil)
+		SetLogger(nil)
+	})
+	if Default() == nil {
+		t.Fatal("Start must install the default registry")
+	}
+	Default().Counter("dtr_cli_test_total").Add(5)
+	done := StartSpan("solve", "k", 1)
+	done()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := errBuf.String()
+	for _, want := range []string{
+		"[obs] serving metrics on http://127.0.0.1:",
+		"metrics endpoint up",      // slog info line
+		"span done",                // StartSpan closer logs at info
+		"== metrics summary ==",    // end-of-run table
+		"dtr_cli_test_total",       // nonzero counter shown
+		`dtr_span_seconds{phase="solve"}`, // span histogram shown
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CLI stderr missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("metrics dump not written: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if snap.Counters["dtr_cli_test_total"] != 5 {
+		t.Fatalf("dump counters = %v", snap.Counters)
+	}
+}
+
+func TestCLIBadLogLevel(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "loud"}); err != nil {
+		t.Fatal(err)
+	}
+	var errBuf strings.Builder
+	c.Err = &errBuf
+	t.Cleanup(func() { SetDefault(nil) })
+	if err := c.Start(); err == nil {
+		t.Fatal("want error for unknown log level")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, s := range []string{"debug", "info", "warn", "warning", "error"} {
+		if _, err := ParseLevel(s); err != nil {
+			t.Fatalf("ParseLevel(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("want error for unknown level")
+	}
+}
+
+func TestWriteSummarySuppressesZeros(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zero_total")
+	r.Counter("live_total").Add(2)
+	r.Histogram("empty_hist", nil)
+	var b strings.Builder
+	if err := r.Snapshot().WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "zero_total") || strings.Contains(out, "empty_hist") {
+		t.Fatalf("zero metrics must be suppressed:\n%s", out)
+	}
+	if !strings.Contains(out, "live_total") {
+		t.Fatalf("nonzero counter missing:\n%s", out)
+	}
+
+	b.Reset()
+	if err := NewRegistry().Snapshot().WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no metrics recorded)") {
+		t.Fatalf("empty summary marker missing:\n%s", b.String())
+	}
+}
+
+func TestWriteProgressDeltas(t *testing.T) {
+	r := NewRegistry()
+	var b strings.Builder
+	prev := r.WriteProgress(&b, Snapshot{})
+	if b.Len() != 0 {
+		t.Fatalf("no activity must print nothing, got %q", b.String())
+	}
+	r.Counter("dtr_prog_total").Add(3)
+	_ = r.WriteProgress(&b, prev)
+	if got := b.String(); !strings.Contains(got, "prog_total+3") {
+		t.Fatalf("progress line = %q", got)
+	}
+}
+
+func TestDisplayAddr(t *testing.T) {
+	cases := map[string]string{
+		"[::]:9090":      "127.0.0.1:9090",
+		"0.0.0.0:80":     "127.0.0.1:80",
+		"10.1.2.3:9090":  "10.1.2.3:9090",
+		"localhost:1234": "localhost:1234",
+	}
+	for in, want := range cases {
+		if got := displayAddr(in); got != want {
+			t.Fatalf("displayAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

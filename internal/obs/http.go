@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler serves the registry: GET /metrics (Prometheus text format) and
+// GET /metrics.json (Snapshot as JSON).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the default registry's snapshot under the expvar
+// key "dtr_metrics" (idempotent; expvar.Publish panics on duplicates).
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("dtr_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// Server is a live metrics endpoint started by Serve.
+type Server struct {
+	// Addr is the bound address, e.g. "127.0.0.1:43521" — useful when
+	// Serve was asked for ":0".
+	Addr string
+
+	ln net.Listener
+}
+
+// Serve exposes the registry over HTTP on addr (":0" picks a free port):
+// /metrics, /metrics.json, /debug/vars (expvar), and — when withPProf —
+// the net/http/pprof handlers under /debug/pprof/. It returns once the
+// listener is bound; requests are served on a background goroutine until
+// Close.
+func Serve(addr string, r *Registry, withPProf bool) (*Server, error) {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{Addr: ln.Addr().String(), ln: ln}
+	go func() {
+		_ = http.Serve(ln, mux) // returns when the listener closes
+	}()
+	return srv, nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	if s == nil || s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}

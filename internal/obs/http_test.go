@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServe starts a live endpoint on a free port and exercises /metrics,
+// /metrics.json and /debug/vars end to end.
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dtr_http_test_total").Add(7)
+	r.Histogram("dtr_http_test_seconds", []float64{1}).Observe(0.5)
+
+	srv, err := Serve("127.0.0.1:0", r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	text, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, line := range []string{
+		"# TYPE dtr_http_test_total counter",
+		"dtr_http_test_total 7",
+		`dtr_http_test_seconds_bucket{le="1"} 1`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, text)
+		}
+	}
+
+	body, ctype := get("/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json content type = %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if snap.Counters["dtr_http_test_total"] != 7 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if h := snap.Histograms["dtr_http_test_seconds"]; h.Count != 1 {
+		t.Fatalf("snapshot histogram = %+v", h)
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.Contains(vars, "cmdline") {
+		t.Fatalf("/debug/vars missing expvar defaults:\n%s", vars)
+	}
+}
+
+// TestServeBadAddr checks that an unbindable address surfaces as an error
+// (the CLIs turn this into exit 2).
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", NewRegistry(), false); err == nil {
+		t.Fatal("want error for a bad listen address")
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// defaultLogger is the run-scoped structured logger; nil means logging
+// is disabled (Logger falls back to a discard logger).
+var defaultLogger atomic.Pointer[slog.Logger]
+
+var discardLogger = slog.New(slog.DiscardHandler)
+
+// SetLogger installs the run-scoped structured logger (nil disables).
+func SetLogger(l *slog.Logger) { defaultLogger.Store(l) }
+
+// Logger returns the run-scoped logger, or a discard logger when none is
+// installed — callers never need to nil-check.
+func Logger() *slog.Logger {
+	if l := defaultLogger.Load(); l != nil {
+		return l
+	}
+	return discardLogger
+}
+
+// ParseLevel maps "debug"/"info"/"warn"/"error" to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// StartSpan opens a named phase of a run (solve, sweep, replicate, fit,
+// …): the start is logged at debug, and the returned func logs the end
+// at info with the elapsed wall time and records the duration in the
+// dtr_span_seconds{phase="..."} histogram of the default registry. Args
+// are alternating slog key/value pairs attached to both records.
+//
+//	defer obs.StartSpan("replicate", "reps", opt.Reps)()
+func StartSpan(phase string, args ...any) func() {
+	lg := Logger()
+	lg.Debug("span start", append([]any{"phase", phase}, args...)...)
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		Default().Histogram(Name("dtr_span_seconds", "phase", phase), nil).Observe(d.Seconds())
+		lg.Info("span done", append([]any{"phase", phase, "dur", d.Round(time.Microsecond)}, args...)...)
+	}
+}

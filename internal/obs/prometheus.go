@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. Families are emitted in lexicographic name order so the
+// output is deterministic (and golden-testable).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	return s.WritePrometheus(w)
+}
+
+// WritePrometheus renders a snapshot; see Registry.WritePrometheus.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]string) // base name → TYPE already written
+	emitType := func(name, kind string) string {
+		base, _ := splitName(name)
+		if typed[base] == "" {
+			typed[base] = kind
+			return fmt.Sprintf("# TYPE %s %s\n", base, kind)
+		}
+		return ""
+	}
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		b.WriteString(emitType(name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		b.WriteString(emitType(name, "gauge"))
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		base, labels := splitName(name)
+		b.WriteString(emitType(name, "histogram"))
+		var cum uint64
+		for i, ub := range h.Upper {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLabel(labels, "le", formatFloat(ub)), cum)
+		}
+		if len(h.Counts) > len(h.Upper) {
+			cum += h.Counts[len(h.Upper)]
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLabel(labels, "le", "+Inf"), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLabel appends key="value" to an existing "{...}" label block ("" →
+// a fresh block).
+func withLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + pair + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(x float64) string {
+	switch {
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	case math.IsNaN(x):
+		return "NaN"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text-format output for a small
+// registry: deterministic family order, cumulative buckets, label
+// merging, and the # TYPE lines.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Counter("b_total") // present at zero
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram(`h{job="x"}`, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_total counter
+a_total 3
+# TYPE b_total counter
+b_total 0
+# TYPE g gauge
+g 1.5
+# TYPE h histogram
+h_bucket{job="x",le="1"} 1
+h_bucket{job="x",le="2"} 1
+h_bucket{job="x",le="+Inf"} 2
+h_sum{job="x"} 3.5
+h_count{job="x"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusLabeledFamily checks that several metrics sharing a
+// base name form one family: a single # TYPE line, every series kept.
+func TestWritePrometheusLabeledFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`msgs_total{kind="fn"}`).Add(1)
+	r.Counter(`msgs_total{kind="group"}`).Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if strings.Count(got, "# TYPE msgs_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line, got:\n%s", got)
+	}
+	for _, line := range []string{`msgs_total{kind="fn"} 1`, `msgs_total{kind="group"} 2`} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5: "1.5", 0: "0", 1e-9: "1e-09",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteSummary renders a human-readable end-of-run table of every metric
+// in the snapshot: counters and gauges as name/value pairs, histograms
+// with count, mean and interpolated p50/p90/p99. Zero-valued counters
+// and empty histograms are suppressed — the summary shows what the run
+// actually did.
+func (s Snapshot) WriteSummary(w io.Writer) error {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(&b, "== metrics summary ==")
+	wrote := false
+	for _, name := range sortedKeys(s.Counters) {
+		if v := s.Counters[name]; v != 0 {
+			fmt.Fprintf(tw, "%s\t%d\n", name, v)
+			wrote = true
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if v := s.Gauges[name]; v != 0 {
+			fmt.Fprintf(tw, "%s\t%s\n", name, formatFloat(v))
+			wrote = true
+		}
+	}
+	tw.Flush()
+	htw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	histHeader := false
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		if !histHeader {
+			fmt.Fprintf(htw, "histogram\tcount\tmean\tp50\tp90\tp99\n")
+			histHeader = true
+		}
+		fmt.Fprintf(htw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		wrote = true
+	}
+	htw.Flush()
+	if !wrote {
+		fmt.Fprintln(&b, "(no metrics recorded)")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteProgress prints a one-line delta report of the counters that
+// changed since prev (plus histogram observation counts), for periodic
+// -progress ticks. It returns the snapshot to diff against next tick.
+func (r *Registry) WriteProgress(w io.Writer, prev Snapshot) Snapshot {
+	cur := r.Snapshot()
+	// Deltas are aggregated under the label-stripped short name, so the
+	// per-phase / per-label series of one family print as one figure.
+	deltas := make(map[string]uint64)
+	for name, v := range cur.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			deltas[shortName(name)] += d
+		}
+	}
+	for name, h := range cur.Histograms {
+		if d := h.Count - prev.Histograms[name].Count; d != 0 {
+			deltas[shortName(name)] += d
+		}
+	}
+	var parts []string
+	for _, name := range sortedKeys(deltas) {
+		parts = append(parts, fmt.Sprintf("%s+%d", name, deltas[name]))
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "[obs] %s\n", strings.Join(parts, " "))
+	}
+	return cur
+}
+
+// shortName drops the "dtr_" prefix and any label block for compact
+// progress lines.
+func shortName(name string) string {
+	base, _ := splitName(name)
+	return strings.TrimPrefix(base, "dtr_")
+}

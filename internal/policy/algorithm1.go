@@ -6,6 +6,7 @@ import (
 	"dtr/dist"
 	"dtr/internal/core"
 	"dtr/internal/direct"
+	"dtr/internal/obs"
 )
 
 // Alg1Options configures Algorithm 1.
@@ -62,6 +63,15 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		}
 	}
 
+	defer obs.StartSpan("solve", "algo", "algorithm1", "servers", n, "objective", opt.Objective.String())()
+	var iters, pairSolves, converged uint64
+	defer func() {
+		alg1Runs.Inc()
+		alg1Iters.Add(iters)
+		alg1PairSolves.Add(pairSolves)
+		alg1Converged.Add(converged)
+	}()
+
 	initial, err := InitialPolicy(queues, lambda)
 	if err != nil {
 		return nil, err
@@ -111,6 +121,7 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		}
 		prev := append([]int(nil), l[i]...)
 		for k := 1; k <= opt.K; k++ {
+			iters++
 			for _, j := range candidates {
 				// Tasks still planned for other recipients are assumed
 				// gone when solving against j.
@@ -133,15 +144,17 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 				if err != nil {
 					return nil, err
 				}
+				pairSolves++
 				l[i][j] = res.L12
 			}
-			converged := true
+			fixed := true
 			for _, j := range candidates {
 				if l[i][j] != prev[j] {
-					converged = false
+					fixed = false
 				}
 			}
-			if converged {
+			if fixed {
+				converged++
 				break
 			}
 			copy(prev, l[i])

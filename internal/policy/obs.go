@@ -1,0 +1,15 @@
+package policy
+
+import "dtr/internal/obs"
+
+// Policy-search observability: Algorithm-1 refinement behaviour
+// (iterations until fixed point, pairwise two-server solves) and the
+// exhaustive/coarse-to-fine sweep volume behind the figure generators.
+var (
+	alg1Runs       = obs.NewCounter("dtr_policy_alg1_runs_total")
+	alg1Iters      = obs.NewCounter("dtr_policy_alg1_iterations_total")
+	alg1Converged  = obs.NewCounter("dtr_policy_alg1_converged_total")
+	alg1PairSolves = obs.NewCounter("dtr_policy_alg1_pair_solves_total")
+	sweepEvals     = obs.NewCounter("dtr_policy_sweep_evaluations_total")
+	sweepRuns      = obs.NewCounter("dtr_policy_sweeps_total")
+)

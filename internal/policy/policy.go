@@ -108,6 +108,8 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 
 	best := Result2{Value: obj.worst(), L12: -1, L21: -1}
 	evals := 0
+	sweepRuns.Inc()
+	defer func() { sweepEvals.Add(uint64(evals)) }()
 	seen := make(map[[2]int]bool)
 	try := func(l12, l21 int) error {
 		if l12 < 0 || l21 < 0 || l12 > m1 || l21 > m2 {

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/obs"
+)
+
+// TestEstimateDeterministicUnderInstrumentation locks in the seeding
+// contract: replication i uses rngutil.Stream(Seed, i) regardless of the
+// worker pool or GOMAXPROCS, so the estimates are bit-identical however
+// the replications are scheduled — and installing the metrics registry
+// (which adds per-replication timing on the worker path) must not change
+// a single bit of the results.
+func TestEstimateDeterministicUnderInstrumentation(t *testing.T) {
+	m := model2(dist.NewExponential(1), dist.NewExponential(2), 50, 30, 1)
+	initial := []int{20, 10}
+	pol := core.Policy2(5, 2)
+	opt := Options{Reps: 400, Seed: 42, Deadline: 60}
+
+	run := func(workers int) Estimates {
+		t.Helper()
+		o := opt
+		o.Workers = workers
+		est, err := Estimate(m, initial, pol, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+
+	// Baseline: uninstrumented, sequential.
+	base := run(1)
+	if base.Completed == 0 || base.Completed == base.Reps {
+		t.Fatalf("test model should see both completions and failures, got %d/%d",
+			base.Completed, base.Reps)
+	}
+
+	// Instrumented runs across worker counts must reproduce it exactly.
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+	for _, workers := range []int{1, 3, 8} {
+		if got := run(workers); got != base {
+			t.Fatalf("instrumented Workers=%d diverged:\n got %+v\nwant %+v", workers, got, base)
+		}
+	}
+
+	// GOMAXPROCS governs the default pool size; pin it to 1 and let
+	// Workers default — still bit-identical.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if got := run(0); got != base {
+		t.Fatalf("GOMAXPROCS=1 default pool diverged:\n got %+v\nwant %+v", got, base)
+	}
+	runtime.GOMAXPROCS(old)
+	if got := run(0); got != base {
+		t.Fatalf("GOMAXPROCS=%d default pool diverged:\n got %+v\nwant %+v", old, got, base)
+	}
+
+	// And the instrumentation itself recorded the work.
+	snap := reg.Snapshot()
+	if n := snap.Counters["dtr_sim_replications_total"]; n == 0 {
+		t.Fatal("instrumented runs left dtr_sim_replications_total at zero")
+	}
+	if h := snap.Histograms["dtr_sim_replication_wall_seconds"]; h.Count == 0 {
+		t.Fatal("replication wall-time histogram is empty")
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"time"
 
 	"dtr/dist"
 	"dtr/internal/core"
 	"dtr/internal/des"
+	"dtr/internal/obs"
 	"dtr/internal/rngutil"
 	"dtr/internal/stat"
 )
@@ -66,6 +68,7 @@ func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) O
 	n := m.N()
 	st := s.Clone()
 	var q des.Queue
+	defer q.FlushStats()
 
 	out := Outcome{Served: make([]int, n), BusyTime: make([]float64, n)}
 	remainingGroups := make([]int, n) // groups still heading to each server
@@ -315,17 +318,37 @@ func EstimateState(m *core.Model, s *core.State, opt Options) (Estimates, error)
 		workers = opt.Reps
 	}
 
+	defer obs.StartSpan("replicate", "reps", opt.Reps, "workers", workers)()
+	instrumented := obs.Default() != nil
+
 	outcomes := make([]Outcome, opt.Reps)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker busy-time gauge: a worker far ahead of its peers
+			// means straggling replications dominate the wall clock.
+			busy := obs.Default().Gauge(obs.Name("dtr_sim_worker_busy_seconds", "worker", w))
 			for i := range next {
-				outcomes[i] = RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+				if !instrumented {
+					outcomes[i] = RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+					continue
+				}
+				t0 := time.Now()
+				out := RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+				outcomes[i] = out
+				busy.Add(time.Since(t0).Seconds())
+				simWall.ObserveSince(t0)
+				simReps.Inc()
+				simFailures.Add(uint64(out.FailuresSeen))
+				if out.Completed {
+					simCompleted.Inc()
+					simTime.Observe(out.Time)
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < opt.Reps; i++ {
 		next <- i

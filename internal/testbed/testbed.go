@@ -92,6 +92,7 @@ func (tb *Testbed) Run(initial []int, p core.Policy, realization int) (Outcome, 
 		scale = time.Millisecond
 	}
 	n := m.N()
+	tbRealizations.Inc()
 
 	events := make(chan event, 1024)
 	stopped := make(chan struct{})
@@ -257,6 +258,7 @@ func (s *node) start(row []int) {
 					x := s.sampleDist(func() float64 {
 						return s.tb.Model.FN(s.id, j).Sample(s.rng)
 					})
+					tbFNTime.Observe(x)
 					s.sendAfter(x, j, message{Kind: "fn", Src: s.id})
 				}
 			}
@@ -273,6 +275,7 @@ func (s *node) start(row []int) {
 			return s.tb.Model.Transfer(l, s.id, j).Sample(s.rng)
 		})
 		s.recordTransfer(z)
+		tbTransferTime.Observe(z)
 		s.sendAfter(z, j, message{Kind: "group", Src: s.id, Tasks: l})
 	}
 }
@@ -288,11 +291,20 @@ func (s *node) sendAfter(delay float64, dst int, msg message) {
 		}
 		conn, err := net.DialTimeout("tcp", s.addrs[dst], 5*time.Second)
 		if err != nil {
-			return // teardown race: listener already closed
+			tbSendFailed.Inc() // teardown race: listener already closed
+			return
 		}
 		defer conn.Close()
 		enc := json.NewEncoder(conn)
-		_ = enc.Encode(&msg)
+		if err := enc.Encode(&msg); err != nil {
+			tbSendFailed.Inc()
+			return
+		}
+		if msg.Kind == "fn" {
+			tbFNSent.Inc()
+		} else {
+			tbGroupSent.Inc()
+		}
 	}()
 }
 
@@ -314,6 +326,7 @@ func (s *node) acceptLoop() {
 			}
 			switch msg.Kind {
 			case "group":
+				tbGroupRecv.Inc()
 				s.mu.Lock()
 				alive := s.up
 				if alive {
@@ -329,6 +342,7 @@ func (s *node) acceptLoop() {
 			case "fn":
 				// Failure notices update the perception matrix; no control
 				// action is bound to them in this model.
+				tbFNRecv.Inc()
 			}
 		}()
 	}
