@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench clean
+.PHONY: all build test vet race bench bench-policy clean
 
 all: build vet test
 
@@ -19,10 +19,15 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race ./internal/obs ./internal/sim ./internal/des ./internal/testbed
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Time the sharded policy sweep at several worker counts and record the
+# result in BENCH_policy.json (see internal/policy/bench_policy_test.go).
+bench-policy:
+	BENCH_POLICY_OUT=$(CURDIR)/BENCH_policy.json $(GO) test -run TestWriteBenchPolicy -v ./internal/policy
 
 clean:
 	$(GO) clean ./...

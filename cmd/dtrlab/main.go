@@ -30,6 +30,7 @@ import (
 
 	"dtr/internal/exper"
 	"dtr/internal/obs"
+	"dtr/internal/par"
 )
 
 func main() {
@@ -39,9 +40,10 @@ func main() {
 	tbReps := flag.Int("testbed-reps", 0, "override testbed realizations")
 	stride := flag.Int("stride", 0, "override the L12 sweep stride")
 	seed := flag.Uint64("seed", 0, "override the experiment seed")
+	workers := par.BindFlag(flag.CommandLine)
 	obsCfg := obs.BindFlags(flag.CommandLine)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dtrlab [-fidelity quick|full] [-csv] [-metrics-addr :9090] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: dtrlab [-fidelity quick|full] [-csv] [-workers N] [-metrics-addr :9090] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 fig2 table1 fig3 table2 fig4ab fig4c ablations staleness extensions all\n")
 		flag.PrintDefaults()
 	}
@@ -72,6 +74,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dtrlab: unknown fidelity %q\n", *fidName)
 		os.Exit(2)
 	}
+	if err := workers.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dtrlab: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fid.Workers = workers.N
 	if err := obsCfg.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "dtrlab: %v\n", err)
 		os.Exit(2)

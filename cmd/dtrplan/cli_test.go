@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The audited CLI error convention: -h/-help is flag.ErrHelp (main exits
+// 0), flag/config mistakes are errUsage (main prints usage and exits 2),
+// and everything else exits 1. These tests pin the classification run()
+// hands to main for the -workers path and its neighbours.
+
+func TestRunHelpIsErrHelp(t *testing.T) {
+	err := run([]string{"-h"}, os.Stdout)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatal("-h must not be classified as a usage error (exit 2); it exits 0")
+	}
+}
+
+func TestRunNegativeWorkersIsUsageError(t *testing.T) {
+	err := run([]string{"-workers", "-2", "-model", "x.json", "metrics"}, os.Stdout)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("-workers -2 returned %v, want errUsage (exit 2)", err)
+	}
+}
+
+func TestRunMalformedWorkersIsUsageError(t *testing.T) {
+	err := run([]string{"-workers", "lots", "-model", "x.json", "metrics"}, os.Stdout)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("-workers lots returned %v, want errUsage (exit 2)", err)
+	}
+}
+
+func TestRunMissingModelIsUsageError(t *testing.T) {
+	err := run([]string{"metrics"}, os.Stdout)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("missing -model returned %v, want errUsage (exit 2)", err)
+	}
+}
+
+func TestRunRuntimeErrorIsNotUsageError(t *testing.T) {
+	err := run([]string{"-model", filepath.Join(t.TempDir(), "absent.json"), "metrics"}, os.Stdout)
+	if err == nil {
+		t.Fatal("absent model file must fail")
+	}
+	if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("runtime error %v misclassified; it must exit 1", err)
+	}
+}
+
+// TestRunWorkersAcceptedOnHappyPath: -workers flows through run() into
+// the System; the optimize answer is the same at any worker count.
+func TestRunWorkersAcceptedOnHappyPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a small model")
+	}
+	spec := filepath.Join("..", "..", "examples", "specs", "testbed.json")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skipf("example spec unavailable: %v", err)
+	}
+	for _, w := range []string{"1", "2"} {
+		err := run([]string{"-model", spec, "-grid", "1024", "-workers", w,
+			"optimize", "-objective", "reliability"}, os.Stdout)
+		if err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+	}
+}

@@ -25,8 +25,14 @@ import (
 
 	"dtr"
 	"dtr/internal/obs"
+	"dtr/internal/par"
 	"dtr/modelspec"
 )
+
+// errUsage marks flag/configuration errors: the audited CLI convention
+// is usage on stderr and exit status 2 for those, 1 for runtime errors
+// and 0 for -h/-help.
+var errUsage = errors.New("usage error")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -35,6 +41,9 @@ func main() {
 			os.Exit(0)
 		}
 		fmt.Fprintf(os.Stderr, "dtrplan: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -43,30 +52,39 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dtrplan", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the JSON system specification (required)")
 	gridN := fs.Int("grid", 8192, "lattice points for the analytic solvers")
+	workers := par.BindFlag(fs)
 	obsCfg := obs.BindFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dtrplan -model system.json <optimize|metrics|simulate|bounds|cdf> [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// The FlagSet already printed the error and usage.
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if err := workers.Validate(); err != nil {
+		fs.Usage()
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	if *modelPath == "" || fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("need -model and a subcommand")
+		return fmt.Errorf("%w: need -model and a subcommand", errUsage)
 	}
 	if err := obsCfg.Start(); err != nil {
 		return err
 	}
 
-	err := plan(*modelPath, *gridN, fs.Arg(0), fs.Args()[1:], out)
+	err := plan(*modelPath, *gridN, workers.N, fs.Arg(0), fs.Args()[1:], out)
 	if oerr := obsCfg.Stop(); oerr != nil && err == nil {
 		err = oerr
 	}
 	return err
 }
 
-func plan(modelPath string, gridN int, sub string, rest []string, out *os.File) error {
+func plan(modelPath string, gridN, workers int, sub string, rest []string, out *os.File) error {
 	m, initial, err := modelspec.Load(modelPath)
 	if err != nil {
 		return err
@@ -76,6 +94,7 @@ func plan(modelPath string, gridN int, sub string, rest []string, out *os.File) 
 		return err
 	}
 	sys.GridN = gridN
+	sys.Workers = workers
 
 	switch sub {
 	case "optimize":

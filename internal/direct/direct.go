@@ -28,6 +28,7 @@ package direct
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dtr/dist"
 	"dtr/internal/core"
@@ -36,6 +37,14 @@ import (
 )
 
 // Solver evaluates canonical-scenario metrics on a fixed time lattice.
+//
+// A Solver is safe for concurrent use: the service-sum prefix tables are
+// immutable after construction, and the two lazy caches (forward FFTs of
+// the prefixes, transfer-time lattices) are guarded by an internal lock.
+// A cache miss computes outside the lock and discards the duplicate if
+// another goroutine stored first, so concurrent sweeps over the policy
+// lattice return bit-identical values to a serial scan. Set TailCorrect
+// before sharing the solver across goroutines.
 type Solver struct {
 	model *core.Model
 	dx    float64
@@ -49,6 +58,11 @@ type Solver struct {
 	preF [2][][]complex128
 
 	zCache map[[3]int]*gridfn.Lattice
+
+	// mu guards the preF slots and zCache. Cached values (FFT buffers,
+	// transfer lattices) are never mutated once published, so readers
+	// only need the lock for the map/slot access itself.
+	mu sync.RWMutex
 
 	// TailCorrect adds the single-big-jump tail-excess estimate to mean
 	// execution times: for subexponential laws (the paper's Pareto
@@ -130,9 +144,15 @@ func (s *Solver) Dx() float64 { return s.dx }
 func (s *Solver) Horizon() float64 { return float64(s.n-1) * s.dx }
 
 // freqOf returns (computing lazily) the forward FFT of the j-fold service
-// sum at server k.
+// sum at server k. Concurrent misses on the same slot each compute the
+// transform, but only the first store is published; the loser's copy is
+// discarded (counted as a duplicate — the cache-contention signal) so
+// every caller reads the same buffer.
 func (s *Solver) freqOf(k, j int) []complex128 {
-	if f := s.preF[k][j]; f != nil {
+	s.mu.RLock()
+	f := s.preF[k][j]
+	s.mu.RUnlock()
+	if f != nil {
 		fftHits.Inc()
 		return f
 	}
@@ -142,7 +162,14 @@ func (s *Solver) freqOf(k, j int) []complex128 {
 		buf[i] = complex(v, 0)
 	}
 	fft.Forward(buf)
+	s.mu.Lock()
+	if f := s.preF[k][j]; f != nil {
+		s.mu.Unlock()
+		fftDupComputes.Inc()
+		return f
+	}
 	s.preF[k][j] = buf
+	s.mu.Unlock()
 	return buf
 }
 
@@ -190,16 +217,27 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 }
 
 // zLattice returns the lattice law of the transfer time of a group of
-// `tasks` tasks from src to dst, cached per signature.
+// `tasks` tasks from src to dst, cached per signature. Like freqOf, a
+// racing miss discards its duplicate in favour of the first store.
 func (s *Solver) zLattice(tasks, src, dst int) *gridfn.Lattice {
 	key := [3]int{tasks, src, dst}
-	if l, ok := s.zCache[key]; ok {
+	s.mu.RLock()
+	l, ok := s.zCache[key]
+	s.mu.RUnlock()
+	if ok {
 		zHits.Inc()
 		return l
 	}
 	zMisses.Inc()
-	l := gridfn.FromCDF(s.model.Transfer(tasks, src, dst).CDF, s.dx, s.n)
+	l = gridfn.FromCDF(s.model.Transfer(tasks, src, dst).CDF, s.dx, s.n)
+	s.mu.Lock()
+	if have, ok := s.zCache[key]; ok {
+		s.mu.Unlock()
+		zDupComputes.Inc()
+		return have
+	}
 	s.zCache[key] = l
+	s.mu.Unlock()
 	return l
 }
 

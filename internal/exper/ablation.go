@@ -6,6 +6,7 @@ import (
 	"dtr/dist"
 	"dtr/internal/core"
 	"dtr/internal/direct"
+	"dtr/internal/par"
 	"dtr/internal/policy"
 	"dtr/internal/sim"
 )
@@ -74,7 +75,7 @@ func AblationK(fid Fidelity) (*Table, error) {
 	ks := []int{1, 2, 3, 5}
 	for _, k := range ks {
 		p, err := policy.Algorithm1(m, Table2Initial, policy.Alg1Options{
-			Objective: policy.ObjMeanTime, K: k, GridN: fid.Alg1GridN,
+			Objective: policy.ObjMeanTime, K: k, GridN: fid.Alg1GridN, Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -85,7 +86,7 @@ func AblationK(fid Fidelity) (*Table, error) {
 				moved += p[i][j]
 			}
 		}
-		est, err := sim.Estimate(m, Table2Initial, p, sim.Options{Reps: fid.MCReps, Seed: fid.Seed + uint64(k)})
+		est, err := sim.Estimate(m, Table2Initial, p, sim.Options{Reps: fid.MCReps, Seed: fid.Seed + uint64(k), Workers: fid.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -128,20 +129,31 @@ func AblationDelaySweep(fid Fidelity) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var worst float64
+		var pts []int
 		for l12 := 0; l12 <= M1; l12 += fid.SweepStride * 2 {
-			truth, err := sTrue.Reliability(M1, M2, l12, Fig12L21)
+			pts = append(pts, l12)
+		}
+		relErrs := make([]float64, len(pts))
+		if err := par.ForEach(par.Workers(fid.Workers), len(pts), func(_, i int) error {
+			truth, err := sTrue.Reliability(M1, M2, pts[i], Fig12L21)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			approx, err := sExp.Reliability(M1, M2, l12, Fig12L21)
+			approx, err := sExp.Reliability(M1, M2, pts[i], Fig12L21)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if truth > 1e-9 {
-				if e := 100 * abs(approx-truth) / truth; e > worst {
-					worst = e
-				}
+				relErrs[i] = 100 * abs(approx-truth) / truth
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var worst float64
+		for _, e := range relErrs {
+			if e > worst {
+				worst = e
 			}
 		}
 		t.AddRow(f2(c), f2(worst))

@@ -207,6 +207,10 @@ type Fidelity struct {
 	SearchRestarts int
 	// Seed anchors all randomness.
 	Seed uint64
+	// Workers shards figure sweeps, policy searches and Monte-Carlo
+	// replications over a worker pool (0 = GOMAXPROCS). Every generator's
+	// output is bit-identical at every worker count.
+	Workers int
 }
 
 // Full is the paper-scale fidelity used by cmd/dtrlab.

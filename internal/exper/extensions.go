@@ -33,7 +33,7 @@ func Extensions(fid Fidelity) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	expBest, err := policy.Optimize2(expSolver, M1, M2, policy.ObjMeanTime, policy.Options2{})
+	expBest, err := policy.Optimize2(expSolver, M1, M2, policy.ObjMeanTime, policy.Options2{Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func Extensions(fid Fidelity) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{})
+		best, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{Workers: fid.Workers})
 		if err != nil {
 			return nil, err
 		}

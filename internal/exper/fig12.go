@@ -6,7 +6,33 @@ import (
 	"dtr/dist"
 	"dtr/internal/direct"
 	"dtr/internal/obs"
+	"dtr/internal/par"
 )
+
+// sweepL12 runs fn over the figure sweep's L12 values on the fidelity's
+// worker pool and returns the per-point results in sweep order. The
+// direct solvers the callbacks share are concurrency-safe, and each
+// result lands in its own slot, so the assembled rows match the serial
+// sweep exactly.
+func sweepL12(fid Fidelity, stride int, fn func(l12 int) ([]string, error)) ([][]string, error) {
+	var pts []int
+	for l12 := 0; l12 <= M1; l12 += stride {
+		pts = append(pts, l12)
+	}
+	rows := make([][]string, len(pts))
+	err := par.ForEach(par.Workers(fid.Workers), len(pts), func(_, i int) error {
+		row, err := fn(pts[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
 
 // newCanonicalSolver builds a direct solver for the canonical scenario
 // under one family and delay condition.
@@ -42,7 +68,7 @@ func Fig1(d Delay, fid Fidelity) (*Table, error) {
 		solvers[i] = s
 	}
 	defer obs.StartSpan("sweep", "experiment", "fig1", "delay", d.String())()
-	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+	rows, err := sweepL12(fid, fid.SweepStride, func(l12 int) ([]string, error) {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, s := range solvers {
 			v, err := s.MeanTime(M1, M2, l12, Fig12L21)
@@ -51,6 +77,12 @@ func Fig1(d Delay, fid Fidelity) (*Table, error) {
 			}
 			row = append(row, f2(v))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -79,7 +111,7 @@ func Fig2(d Delay, fid Fidelity) (*Table, error) {
 		solvers[i] = s
 	}
 	defer obs.StartSpan("sweep", "experiment", "fig2", "delay", d.String())()
-	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+	rows, err := sweepL12(fid, fid.SweepStride, func(l12 int) ([]string, error) {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, s := range solvers {
 			v, err := s.Reliability(M1, M2, l12, Fig12L21)
@@ -88,6 +120,12 @@ func Fig2(d Delay, fid Fidelity) (*Table, error) {
 			}
 			row = append(row, f4(v))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -121,20 +159,31 @@ func MarkovianError(d Delay, reliable bool, fid Fidelity) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var worst float64
+		var pts []int
 		for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
-			truth, err := eval(s, l12)
+			pts = append(pts, l12)
+		}
+		relErrs := make([]float64, len(pts))
+		if err := par.ForEach(par.Workers(fid.Workers), len(pts), func(_, i int) error {
+			truth, err := eval(s, pts[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			approx, err := eval(expSolver, l12)
+			approx, err := eval(expSolver, pts[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if truth > 1e-9 {
-				if e := 100 * abs(approx-truth) / truth; e > worst {
-					worst = e
-				}
+				relErrs[i] = 100 * abs(approx-truth) / truth
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var worst float64
+		for _, e := range relErrs {
+			if e > worst {
+				worst = e
 			}
 		}
 		t.AddRow(f.String(), f2(worst))

@@ -26,7 +26,7 @@ func Fig3(fid Fidelity) ([]*Table, error) {
 		Columns: []string{"L12", "L21=0", "L21=1", "L21=2", "L21=5"},
 	}
 	l21s := []int{0, 1, 2, 5}
-	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+	rows, err := sweepL12(fid, fid.SweepStride, func(l12 int) ([]string, error) {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, l21 := range l21s {
 			v, err := s.MeanTime(M1, M2, l12, l21)
@@ -35,9 +35,15 @@ func Fig3(fid Fidelity) ([]*Table, error) {
 			}
 			row = append(row, f2(v))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		ta.AddRow(row...)
 	}
-	bestMean, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{})
+	bestMean, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +56,7 @@ func Fig3(fid Fidelity) ([]*Table, error) {
 		Title:   fmt.Sprintf("Fig. 3(b): Pareto 1, severe delay — QoS(T<%g s) vs policy", QoSDeadline),
 		Columns: []string{"L12", "L21=0", "L21=1", "L21=2", "L21=5"},
 	}
-	for l12 := 0; l12 <= M1; l12 += fid.SweepStride {
+	rows, err = sweepL12(fid, fid.SweepStride, func(l12 int) ([]string, error) {
 		row := []string{fmt.Sprintf("%d", l12)}
 		for _, l21 := range l21s {
 			v, err := s.QoS(M1, M2, l12, l21, QoSDeadline)
@@ -59,9 +65,15 @@ func Fig3(fid Fidelity) ([]*Table, error) {
 			}
 			row = append(row, f4(v))
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		tb.AddRow(row...)
 	}
-	bestQoS, err := policy.Optimize2(s, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline})
+	bestQoS, err := policy.Optimize2(s, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline, Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -88,7 +88,7 @@ func Fig4C(fid Fidelity) (*Table, error) {
 			return nil, err
 		}
 		est, err := sim.Estimate(m, []int{TBM1, TBM2}, core.Policy2(l12, 0), sim.Options{
-			Reps: fid.MCReps, Seed: fid.Seed + uint64(l12),
+			Reps: fid.MCReps, Seed: fid.Seed + uint64(l12), Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -108,7 +108,7 @@ func Fig4C(fid Fidelity) (*Table, error) {
 			f4(est.ReliabilityHalf), f4(tbRel), f4(tbHalf))
 	}
 
-	best, err := policy.Optimize2(ds, TBM1, TBM2, policy.ObjReliability, policy.Options2{})
+	best, err := policy.Optimize2(ds, TBM1, TBM2, policy.ObjReliability, policy.Options2{Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -139,5 +139,5 @@ func Fig4COptimum(fid Fidelity) (policy.Result2, error) {
 	if err != nil {
 		return policy.Result2{}, err
 	}
-	return policy.Optimize2(ds, TBM1, TBM2, policy.ObjReliability, policy.Options2{})
+	return policy.Optimize2(ds, TBM1, TBM2, policy.ObjReliability, policy.Options2{Workers: fid.Workers})
 }

@@ -62,25 +62,26 @@ func Staleness(fid Fidelity) (*Table, error) {
 
 			stale, err := policy.Algorithm1(m, snap.Queues, policy.Alg1Options{
 				Objective: policy.ObjMeanTime, K: 3, GridN: fid.Alg1GridN,
-				Estimates: snap.Estimates,
+				Estimates: snap.Estimates, Workers: fid.Workers,
 			})
 			if err != nil {
 				return nil, err
 			}
 			perfect, err := policy.Algorithm1(m, snap.Queues, policy.Alg1Options{
 				Objective: policy.ObjMeanTime, K: 3, GridN: fid.Alg1GridN,
+				Workers: fid.Workers,
 			})
 			if err != nil {
 				return nil, err
 			}
 			estStale, err := sim.Estimate(m, snap.Queues, stale, sim.Options{
-				Reps: evalReps / reps, Seed: fid.Seed + uint64(rep),
+				Reps: evalReps / reps, Seed: fid.Seed + uint64(rep), Workers: fid.Workers,
 			})
 			if err != nil {
 				return nil, err
 			}
 			estPerfect, err := sim.Estimate(m, snap.Queues, perfect, sim.Options{
-				Reps: evalReps / reps, Seed: fid.Seed + uint64(rep) + 1000,
+				Reps: evalReps / reps, Seed: fid.Seed + uint64(rep) + 1000, Workers: fid.Workers,
 			})
 			if err != nil {
 				return nil, err

@@ -29,11 +29,11 @@ func Table1(d Delay, fid Fidelity) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	expMean, err := policy.Optimize2(expSolver, M1, M2, policy.ObjMeanTime, policy.Options2{})
+	expMean, err := policy.Optimize2(expSolver, M1, M2, policy.ObjMeanTime, policy.Options2{Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}
-	expQoS, err := policy.Optimize2(expSolver, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline})
+	expQoS, err := policy.Optimize2(expSolver, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline, Workers: fid.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func Table1(d Delay, fid Fidelity) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bestMean, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{})
+		bestMean, err := policy.Optimize2(s, M1, M2, policy.ObjMeanTime, policy.Options2{Workers: fid.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func Table1(d Delay, fid Fidelity) (*Table, error) {
 		}
 		meanDegr := 100 * (meanAtExp - bestMean.Value) / bestMean.Value
 
-		bestQoS, err := policy.Optimize2(s, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline})
+		bestQoS, err := policy.Optimize2(s, M1, M2, policy.ObjQoS, policy.Options2{Deadline: QoSDeadline, Workers: fid.Workers})
 		if err != nil {
 			return nil, err
 		}

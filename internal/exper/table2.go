@@ -47,7 +47,7 @@ func Table2(reliable bool, fid Fidelity) (*Table, error) {
 	// all-exponential model with matched means.
 	expModel := Table2Model(dist.FamilyExponential, SevereDelay, reliable)
 	expPolicy, err := policy.Algorithm1(expModel, Table2Initial, policy.Alg1Options{
-		Objective: obj, K: 3, GridN: fid.Alg1GridN,
+		Objective: obj, K: 3, GridN: fid.Alg1GridN, Workers: fid.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -57,7 +57,7 @@ func Table2(reliable bool, fid Fidelity) (*Table, error) {
 	// 5–45% errors are the gap between this prediction and the value
 	// measured under the true (non-exponential) model.
 	estPred, err := sim.Estimate(expModel, Table2Initial, expPolicy, sim.Options{
-		Reps: fid.MCReps, Seed: fid.Seed + 400,
+		Reps: fid.MCReps, Seed: fid.Seed + 400, Workers: fid.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -74,19 +74,19 @@ func Table2(reliable bool, fid Fidelity) (*Table, error) {
 		m := Table2Model(f, SevereDelay, reliable)
 
 		truePolicy, err := policy.Algorithm1(m, Table2Initial, policy.Alg1Options{
-			Objective: obj, K: 3, GridN: fid.Alg1GridN,
+			Objective: obj, K: 3, GridN: fid.Alg1GridN, Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
 		estTrue, err := sim.Estimate(m, Table2Initial, truePolicy, sim.Options{
-			Reps: fid.MCReps, Seed: fid.Seed + 100,
+			Reps: fid.MCReps, Seed: fid.Seed + 100, Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
 		estExp, err := sim.Estimate(m, Table2Initial, expPolicy, sim.Options{
-			Reps: fid.MCReps, Seed: fid.Seed + 200,
+			Reps: fid.MCReps, Seed: fid.Seed + 200, Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -102,7 +102,7 @@ func Table2(reliable bool, fid Fidelity) (*Table, error) {
 			return nil, err
 		}
 		estBench, err := sim.Estimate(m, bestAlloc, core.NewPolicy(5), sim.Options{
-			Reps: fid.MCReps, Seed: fid.Seed + 300,
+			Reps: fid.MCReps, Seed: fid.Seed + 300, Workers: fid.Workers,
 		})
 		if err != nil {
 			return nil, err

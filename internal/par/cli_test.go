@@ -1,0 +1,63 @@
+package par
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestBindFlagDefaults: the unset flag means "GOMAXPROCS" and validates.
+func TestBindFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := BindFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 0 {
+		t.Fatalf("default -workers = %d, want 0", f.N)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("default must validate: %v", err)
+	}
+}
+
+func TestBindFlagParsesValue(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := BindFlag(fs)
+	if err := fs.Parse([]string{"-workers", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 6 {
+		t.Fatalf("-workers 6 parsed as %d", f.N)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBindFlagNegativeIsConfigError: negative counts parse (the flag
+// package accepts any int) but fail Validate — the CLIs turn this into
+// usage + exit 2, the audited flag-error convention.
+func TestBindFlagNegativeIsConfigError(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := BindFlag(fs)
+	if err := fs.Parse([]string{"-workers", "-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err == nil {
+		t.Fatal("negative -workers must fail validation")
+	}
+}
+
+// TestBindFlagMalformedIsParseError: non-integer values are rejected by
+// flag parsing itself (ContinueOnError returns the error; the CLIs'
+// ExitOnError sets exit 2).
+func TestBindFlagMalformedIsParseError(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	BindFlag(fs)
+	if err := fs.Parse([]string{"-workers", "lots"}); err == nil {
+		t.Fatal("malformed -workers must fail to parse")
+	}
+}

@@ -1,0 +1,111 @@
+// Package par is the repository's deterministic fan-out helper: a
+// fixed-size worker pool over an index range, built for the policy-search
+// and experiment sweeps whose results must be bit-identical however the
+// work is scheduled.
+//
+// The contract every caller relies on:
+//
+//   - fn(w, i) runs exactly once for every index i, whatever errors other
+//     indices hit — so instrumentation counters (evaluations, cache
+//     hits) do not depend on scheduling;
+//   - results are written by index into caller-owned slots, never
+//     reduced inside the pool — order-sensitive reductions (tie-breaking
+//     an argmin the way a serial scan would) happen in the caller, over
+//     the completed index order;
+//   - the returned error is the one produced by the smallest failing
+//     index, so even failures are scheduling-independent.
+//
+// It also hosts the shared -workers CLI flag of cmd/dtrlab and
+// cmd/dtrplan (BindFlag), keeping the flag's name, default and
+// validation identical in both binaries.
+package par
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: values ≤ 0 select
+// runtime.GOMAXPROCS(0), the CLI and API default.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(w, i) for every i in [0, n) on up to `workers`
+// goroutines (≤ 0 selects GOMAXPROCS); w identifies the worker (0 ≤ w <
+// effective workers) for per-worker instrumentation. Every index is
+// attempted even after a failure, and the error returned is the smallest
+// failing index's — both deliberate, so side effects and the outcome are
+// independent of scheduling. With one effective worker everything runs
+// inline on the calling goroutine.
+func ForEach(workers, n int, fn func(w, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flag is the shared -workers value of the CLIs; bind it with BindFlag
+// and check Validate after parsing.
+type Flag struct {
+	N int
+}
+
+// BindFlag registers the shared -workers flag on fs. The zero default
+// means "one worker per logical CPU" (GOMAXPROCS).
+func BindFlag(fs *flag.FlagSet) *Flag {
+	f := &Flag{}
+	fs.IntVar(&f.N, "workers", 0,
+		"worker goroutines for parallel policy sweeps, pair solves and simulations (0 = GOMAXPROCS)")
+	return f
+}
+
+// Validate rejects negative worker counts. Callers treat a failure as a
+// usage error (print usage, exit 2).
+func (f *Flag) Validate() error {
+	if f.N < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = GOMAXPROCS), got %d", f.N)
+	}
+	return nil
+}

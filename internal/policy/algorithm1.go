@@ -2,11 +2,13 @@ package policy
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dtr/dist"
 	"dtr/internal/core"
 	"dtr/internal/direct"
 	"dtr/internal/obs"
+	"dtr/internal/par"
 )
 
 // Alg1Options configures Algorithm 1.
@@ -27,6 +29,13 @@ type Alg1Options struct {
 	// (0 = defaults: 4096 points, auto horizon).
 	GridN   int
 	Horizon float64
+	// Workers shards the per-server refinement rows over a worker pool
+	// (≤ 0 = GOMAXPROCS). Rows are fully independent — each touches only
+	// its own plan row, estimates and pair solvers — so the resulting
+	// policy (and the iteration/pair-solve counts) is bit-identical to
+	// the serial sweep at every worker count. The Gauss–Seidel inner loop
+	// of a row stays serial; it is order-dependent by construction.
+	Workers int
 }
 
 // Algorithm1 computes the multi-server DTR policy of the paper's
@@ -64,41 +73,17 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 	}
 
 	defer obs.StartSpan("solve", "algo", "algorithm1", "servers", n, "objective", opt.Objective.String())()
-	var iters, pairSolves, converged uint64
+	var iters, pairSolves, converged atomic.Uint64
 	defer func() {
 		alg1Runs.Inc()
-		alg1Iters.Add(iters)
-		alg1PairSolves.Add(pairSolves)
-		alg1Converged.Add(converged)
+		alg1Iters.Add(iters.Load())
+		alg1PairSolves.Add(pairSolves.Load())
+		alg1Converged.Add(converged.Load())
 	}()
 
 	initial, err := InitialPolicy(queues, lambda)
 	if err != nil {
 		return nil, err
-	}
-
-	solvers := make(map[[2]int]*direct.Solver)
-	pairSolver := func(i, j int) (*direct.Solver, error) {
-		key := [2]int{i, j}
-		if s, ok := solvers[key]; ok {
-			return s, nil
-		}
-		sub := pairModel(m, i, j)
-		maxQ := queues[i] + est[i][j] + 1
-		gridN := opt.GridN
-		if gridN == 0 {
-			gridN = 4096
-		}
-		s, err := direct.NewSolver(sub, direct.Config{
-			N:        gridN,
-			Horizon:  opt.Horizon,
-			MaxQueue: [2]int{maxQ, maxQ},
-		})
-		if err != nil {
-			return nil, err
-		}
-		solvers[key] = s
-		return s, nil
 	}
 
 	// L holds the evolving plan; only rows with initial candidates are
@@ -109,7 +94,12 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		l[i] = append([]int(nil), initial[i]...)
 	}
 
-	for i := 0; i < n; i++ {
+	// Each row i refines independently: it reads queues[i], est[i] and
+	// initial[i], writes only l[i], and builds its own pair solvers (the
+	// serial code never shared solvers across rows either — the cache key
+	// was (i, j)). That makes the rows of one sweep safe to run
+	// concurrently with a result identical to the serial row order.
+	refineRow := func(i int) error {
 		var candidates []int
 		for j := 0; j < n; j++ {
 			if initial[i][j] > 0 {
@@ -117,11 +107,33 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 			}
 		}
 		if len(candidates) == 0 {
-			continue
+			return nil
+		}
+		solvers := make(map[int]*direct.Solver)
+		pairSolver := func(j int) (*direct.Solver, error) {
+			if s, ok := solvers[j]; ok {
+				return s, nil
+			}
+			sub := pairModel(m, i, j)
+			maxQ := queues[i] + est[i][j] + 1
+			gridN := opt.GridN
+			if gridN == 0 {
+				gridN = 4096
+			}
+			s, err := direct.NewSolver(sub, direct.Config{
+				N:        gridN,
+				Horizon:  opt.Horizon,
+				MaxQueue: [2]int{maxQ, maxQ},
+			})
+			if err != nil {
+				return nil, err
+			}
+			solvers[j] = s
+			return s, nil
 		}
 		prev := append([]int(nil), l[i]...)
 		for k := 1; k <= opt.K; k++ {
-			iters++
+			iters.Add(1)
 			for _, j := range candidates {
 				// Tasks still planned for other recipients are assumed
 				// gone when solving against j.
@@ -136,15 +148,17 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 					m1 = 0
 				}
 				m2 := est[i][j]
-				s, err := pairSolver(i, j)
+				s, err := pairSolver(j)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				res, err := Optimize2(s, m1, m2, opt.Objective, Options2{Deadline: opt.Deadline})
+				// The row itself occupies one pool slot; its lattice scans
+				// stay serial rather than nesting a second pool.
+				res, err := Optimize2(s, m1, m2, opt.Objective, Options2{Deadline: opt.Deadline, Workers: 1})
 				if err != nil {
-					return nil, err
+					return err
 				}
-				pairSolves++
+				pairSolves.Add(1)
 				l[i][j] = res.L12
 			}
 			fixed := true
@@ -154,7 +168,7 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 				}
 			}
 			if fixed {
-				converged++
+				converged.Add(1)
 				break
 			}
 			copy(prev, l[i])
@@ -175,6 +189,12 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 			l[i][maxJ]--
 			total--
 		}
+		return nil
+	}
+	if err := par.ForEach(par.Workers(opt.Workers), n, func(_, i int) error {
+		return refineRow(i)
+	}); err != nil {
+		return nil, err
 	}
 
 	out := core.NewPolicy(n)

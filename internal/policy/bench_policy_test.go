@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/direct"
+)
+
+// TestWriteBenchPolicy measures the exhaustive (L12, L21) sweep at a
+// range of worker counts and writes the timings to the file named by
+// BENCH_POLICY_OUT (skipped otherwise; `make bench-policy` drives it).
+// The sweep's result is asserted bit-identical across all runs while the
+// timings are taken, so the file documents a speedup of the *same*
+// computation.
+func TestWriteBenchPolicy(t *testing.T) {
+	out := os.Getenv("BENCH_POLICY_OUT")
+	if out == "" {
+		t.Skip("set BENCH_POLICY_OUT to write the policy-sweep benchmark file")
+	}
+
+	m := &core.Model{
+		Service: []dist.Dist{dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1)},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewPareto(2.5, 3*float64(tasks))
+		},
+	}
+	const m1, m2 = 100, 100
+	s, err := direct.NewSolver(m, direct.Config{N: 1 << 11, Horizon: 2600, MaxQueue: [2]int{m1 + m2, m1 + m2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the solver's lazy caches so every timed run measures the sweep
+	// itself, not one-time lattice construction.
+	opt := Options2{Exhaustive: true, Workers: 1}
+	base, err := Optimize2(s, m1, m2, ObjMeanTime, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type run struct {
+		Workers int     `json:"workers"`
+		Seconds float64 `json:"seconds"`
+		Speedup float64 `json:"speedup_vs_serial"`
+	}
+	report := struct {
+		Benchmark     string  `json:"benchmark"`
+		GoVersion     string  `json:"go_version"`
+		NumCPU        int     `json:"num_cpu"`
+		GoMaxProcs    int     `json:"gomaxprocs"`
+		LatticePoints int     `json:"lattice_points"`
+		GridN         int     `json:"grid_n"`
+		Note          string  `json:"note"`
+		Runs          []run   `json:"runs"`
+		OptimumL12    int     `json:"optimum_l12"`
+		OptimumL21    int     `json:"optimum_l21"`
+		OptimumValue  float64 `json:"optimum_value"`
+	}{
+		Benchmark:     "Optimize2 exhaustive mean-time sweep, Pareto severe-delay model",
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		LatticePoints: (m1 + 1) * (m2 + 1),
+		GridN:         1 << 11,
+		Note: "warm-cache timings; the speedup ceiling is min(workers, num_cpu) — " +
+			"on a single-CPU host all worker counts are expected to tie, the " +
+			"multi-core speedup must be measured on multi-core hardware",
+		OptimumL12:   base.L12,
+		OptimumL21:   base.L21,
+		OptimumValue: base.Value,
+	}
+
+	var serial float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		o := opt
+		o.Workers = workers
+		t0 := time.Now()
+		res, err := Optimize2(s, m1, m2, ObjMeanTime, o)
+		secs := time.Since(t0).Seconds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != base {
+			t.Fatalf("workers=%d diverged: %+v != %+v", workers, res, base)
+		}
+		if workers == 1 {
+			serial = secs
+		}
+		report.Runs = append(report.Runs, run{Workers: workers, Seconds: secs, Speedup: serial / secs})
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (serial %.2fs)", out, serial)
+}

@@ -33,6 +33,51 @@ func BenchmarkOptimize2(b *testing.B) {
 	}
 }
 
+// benchSolver builds the paper-scale severe-delay Pareto solver shared
+// by the serial/parallel sweep benchmarks.
+func benchSolver(b *testing.B) *direct.Solver {
+	b.Helper()
+	m := &core.Model{
+		Service: []dist.Dist{dist.NewPareto(2.5, 2), dist.NewPareto(2.5, 1)},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewPareto(2.5, 3*float64(tasks))
+		},
+	}
+	s, err := direct.NewSolver(m, direct.Config{N: 1 << 12, Horizon: 2600, MaxQueue: [2]int{150, 150}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkOptimize2Serial pins the one-worker exhaustive sweep — the
+// baseline the sharded sweep is measured against in BENCH_policy.json.
+func BenchmarkOptimize2Serial(b *testing.B) {
+	s := benchSolver(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize2(s, 100, 50, ObjMeanTime, Options2{Exhaustive: true, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimize2Parallel runs the same exhaustive sweep with the
+// worker pool at its default size (GOMAXPROCS).
+func BenchmarkOptimize2Parallel(b *testing.B) {
+	s := benchSolver(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize2(s, 100, 50, ObjMeanTime, Options2{Exhaustive: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAlgorithm1FiveServer measures the full multi-server policy
 // computation of Table II.
 func BenchmarkAlgorithm1FiveServer(b *testing.B) {
@@ -41,6 +86,19 @@ func BenchmarkAlgorithm1FiveServer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Algorithm1(m, queues, Alg1Options{Objective: ObjMeanTime, K: 3, GridN: 1 << 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1FiveServerParallel shards the refinement rows over
+// the default pool.
+func BenchmarkAlgorithm1FiveServerParallel(b *testing.B) {
+	m := fiveServer(dist.FamilyPareto1, 3, true)
+	queues := []int{80, 50, 30, 25, 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Algorithm1(m, queues, Alg1Options{Objective: ObjMeanTime, K: 3, GridN: 1 << 10, Workers: 0}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/core"
+)
+
+// randomModelN builds a random heterogeneous n-server model with
+// exponential laws (fast to solve) and optional failure-prone servers.
+func randomModelN(r *rand.Rand, n int, reliable bool) *core.Model {
+	m := &core.Model{}
+	for i := 0; i < n; i++ {
+		m.Service = append(m.Service, dist.NewExponential(0.5+r.Float64()*4))
+		if reliable {
+			m.Failure = append(m.Failure, dist.Never{})
+		} else {
+			m.Failure = append(m.Failure, dist.NewExponential(200+r.Float64()*800))
+		}
+	}
+	perTask := 0.2 + r.Float64()*2
+	m.Transfer = func(tasks, src, dst int) dist.Dist {
+		if tasks < 1 {
+			tasks = 1
+		}
+		return dist.NewExponential(perTask * float64(tasks))
+	}
+	return m
+}
+
+// checkPolicyInvariants asserts the feasibility invariants every DTR
+// policy must satisfy: no negative shipments, an empty diagonal, and row
+// sums bounded by the queue lengths (task conservation: a server cannot
+// ship more than it holds).
+func checkPolicyInvariants(t *testing.T, p core.Policy, queues []int, label string) {
+	t.Helper()
+	if err := p.Validate(queues); err != nil {
+		t.Fatalf("%s: invalid policy: %v", label, err)
+	}
+	for i := range p {
+		shipped := 0
+		for j := range p[i] {
+			if p[i][j] < 0 {
+				t.Fatalf("%s: negative shipment p[%d][%d] = %d", label, i, j, p[i][j])
+			}
+			if i == j && p[i][j] != 0 {
+				t.Fatalf("%s: self-shipment p[%d][%d] = %d", label, i, j, p[i][j])
+			}
+			shipped += p[i][j]
+		}
+		if shipped > queues[i] {
+			t.Fatalf("%s: server %d ships %d of %d tasks", label, i, shipped, queues[i])
+		}
+	}
+}
+
+// TestInitialPolicyInvariants: the eq. (5) load-balancing plan must be
+// feasible for random queue/weight configurations, and must conserve the
+// workload: tasks only move, they are never created or destroyed.
+func TestInitialPolicyInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(5)
+		queues := make([]int, n)
+		weights := make([]float64, n)
+		for i := range queues {
+			queues[i] = r.Intn(60)
+			weights[i] = 0.1 + r.Float64()*3
+		}
+		p, err := InitialPolicy(queues, weights)
+		if err != nil {
+			t.Fatalf("trial %d (queues %v): %v", trial, queues, err)
+		}
+		checkPolicyInvariants(t, p, queues, "initial policy")
+
+		// Conservation: the post-reallocation queues sum to the workload.
+		before, after := 0, 0
+		for i := range queues {
+			before += queues[i]
+			after += queues[i]
+			for j := range queues {
+				after += p[j][i] - p[i][j]
+			}
+		}
+		if before != after {
+			t.Fatalf("trial %d: workload changed from %d to %d tasks", trial, before, after)
+		}
+
+		// Deficient servers (below their weighted fair share) never ship.
+		total := 0
+		var wsum float64
+		for i := range queues {
+			total += queues[i]
+			wsum += weights[i]
+		}
+		for i := range queues {
+			fair := float64(total) * weights[i] / wsum
+			if float64(queues[i]) < fair {
+				for j := range queues {
+					if p[i][j] != 0 {
+						t.Fatalf("trial %d: deficient server %d (queue %d < fair %.1f) ships %d to %d",
+							trial, i, queues[i], fair, p[i][j], j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlgorithm1Invariants: across random heterogeneous models, queue
+// configurations and iteration budgets K ∈ {1, 2, 3}, Algorithm 1 must
+// produce a feasible, task-conserving policy — including under dated
+// queue estimates and failure-prone servers.
+func TestAlgorithm1Invariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + r.Intn(3)
+		reliable := trial%2 == 0
+		m := randomModelN(r, n, reliable)
+		queues := make([]int, n)
+		for i := range queues {
+			queues[i] = r.Intn(25)
+		}
+		obj := ObjMeanTime
+		if !reliable {
+			obj = ObjReliability
+		}
+		var est [][]int
+		if trial%2 == 1 {
+			// Dated information: each server's estimates are off by ±2.
+			est = make([][]int, n)
+			for i := range est {
+				est[i] = make([]int, n)
+				for j := range est[i] {
+					if e := queues[j] + r.Intn(5) - 2; e > 0 {
+						est[i][j] = e
+					}
+				}
+			}
+		}
+		for k := 1; k <= 3; k++ {
+			p, err := Algorithm1(m, queues, Alg1Options{
+				Objective: obj, K: k, GridN: 1 << 9, Estimates: est,
+				Workers: 1 + r.Intn(3),
+			})
+			if err != nil {
+				t.Fatalf("trial %d K=%d (n=%d queues %v): %v", trial, k, n, queues, err)
+			}
+			checkPolicyInvariants(t, p, queues, "algorithm 1")
+		}
+	}
+}

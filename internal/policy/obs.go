@@ -12,4 +12,5 @@ var (
 	alg1PairSolves = obs.NewCounter("dtr_policy_alg1_pair_solves_total")
 	sweepEvals     = obs.NewCounter("dtr_policy_sweep_evaluations_total")
 	sweepRuns      = obs.NewCounter("dtr_policy_sweeps_total")
+	sweepBatches   = obs.NewCounter("dtr_policy_sweep_batches_total")
 )

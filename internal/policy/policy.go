@@ -14,10 +14,13 @@ package policy
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dtr/dist"
 	"dtr/internal/core"
 	"dtr/internal/direct"
+	"dtr/internal/obs"
+	"dtr/internal/par"
 )
 
 // Objective selects the metric being optimized.
@@ -79,6 +82,12 @@ type Options2 struct {
 	Exhaustive bool
 	// CoarseStride is the first-pass stride (0 = auto).
 	CoarseStride int
+	// Workers shards the lattice evaluations over a worker pool
+	// (≤ 0 = GOMAXPROCS). The result — optimum, value, tie-breaking and
+	// Evaluations — is bit-identical to the serial scan at every worker
+	// count: each pass's candidate points are generated in serial scan
+	// order, evaluated concurrently, and reduced in that same order.
+	Workers int
 }
 
 // evaluate computes the objective for one policy.
@@ -97,7 +106,9 @@ func evaluate(s *direct.Solver, m1, m2, l12, l21 int, obj Objective, deadline fl
 
 // Optimize2 solves problems (3)/(4): it searches the feasible policy
 // lattice {0..m1}×{0..m2} for the DTR policy optimizing the objective,
-// using the canonical-scenario solver for the metric values.
+// using the canonical-scenario solver for the metric values. The lattice
+// evaluations of each pass are sharded over Options2.Workers goroutines;
+// see Options2.Workers for the bit-identical-to-serial guarantee.
 func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Result2, error) {
 	if m1 < 0 || m2 < 0 {
 		return Result2{}, fmt.Errorf("policy: negative workload (%d, %d)", m1, m2)
@@ -106,99 +117,163 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 		return Result2{}, fmt.Errorf("policy: ObjQoS requires a positive Deadline")
 	}
 
-	best := Result2{Value: obj.worst(), L12: -1, L21: -1}
-	evals := 0
+	sw := &sweep2{
+		s: s, m1: m1, m2: m2, obj: obj, deadline: opt.Deadline,
+		workers: par.Workers(opt.Workers),
+		best:    Result2{Value: obj.worst(), L12: -1, L21: -1},
+		seen:    make(map[[2]int]bool),
+	}
 	sweepRuns.Inc()
-	defer func() { sweepEvals.Add(uint64(evals)) }()
-	seen := make(map[[2]int]bool)
-	try := func(l12, l21 int) error {
-		if l12 < 0 || l21 < 0 || l12 > m1 || l21 > m2 {
-			return nil
-		}
+	defer func() { sweepEvals.Add(uint64(sw.evals)) }()
+
+	if opt.Exhaustive {
 		// Sending tasks both ways simultaneously is feasible in the model
 		// but never optimal (the two flows could cancel); the paper's
 		// reported optima still include (L12>0, L21>0) pairs like (32, 1),
 		// so the full lattice is searched.
-		k := [2]int{l12, l21}
-		if seen[k] {
-			return nil
-		}
-		seen[k] = true
-		v, err := evaluate(s, m1, m2, l12, l21, obj, opt.Deadline)
-		if err != nil {
-			return err
-		}
-		evals++
-		if obj.better(v, best.Value) {
-			best = Result2{L12: l12, L21: l21, Value: v}
-		}
-		return nil
-	}
-
-	if opt.Exhaustive {
+		pts := make([][2]int, 0, (m1+1)*(m2+1))
 		for l12 := 0; l12 <= m1; l12++ {
 			for l21 := 0; l21 <= m2; l21++ {
-				if err := try(l12, l21); err != nil {
-					return Result2{}, err
-				}
+				pts = append(pts, [2]int{l12, l21})
 			}
 		}
-		best.Evaluations = evals
-		return best, nil
+		if err := sw.tryAll(pts); err != nil {
+			return Result2{}, err
+		}
+		sw.best.Evaluations = sw.evals
+		return sw.best, nil
 	}
 
 	stride := opt.CoarseStride
 	if stride <= 0 {
 		stride = max(1, max(m1, m2)/12)
 	}
-	// Coarse pass.
+	// Coarse pass over the strided lattice, with the far edges sampled.
+	var pts [][2]int
 	for l12 := 0; l12 <= m1; l12 += stride {
 		for l21 := 0; l21 <= m2; l21 += stride {
-			if err := try(l12, l21); err != nil {
-				return Result2{}, err
-			}
+			pts = append(pts, [2]int{l12, l21})
 		}
 	}
-	// Ensure the far edges are sampled.
 	for l21 := 0; l21 <= m2; l21 += stride {
-		if err := try(m1, l21); err != nil {
-			return Result2{}, err
-		}
+		pts = append(pts, [2]int{m1, l21})
 	}
 	for l12 := 0; l12 <= m1; l12 += stride {
-		if err := try(l12, m2); err != nil {
-			return Result2{}, err
-		}
+		pts = append(pts, [2]int{l12, m2})
+	}
+	if err := sw.tryAll(pts); err != nil {
+		return Result2{}, err
 	}
 	// Refinement passes: halve the stride around the incumbent until 1.
+	// Each pass is one batch — its candidate set depends only on the
+	// incumbent, which the deterministic reduction fixes pass by pass.
 	for stride > 1 {
 		stride = max(1, stride/2)
-		c12, c21 := best.L12, best.L21
+		c12, c21 := sw.best.L12, sw.best.L21
+		pts = pts[:0]
 		for l12 := c12 - 2*stride; l12 <= c12+2*stride; l12 += stride {
 			for l21 := c21 - 2*stride; l21 <= c21+2*stride; l21 += stride {
-				if err := try(l12, l21); err != nil {
-					return Result2{}, err
-				}
+				pts = append(pts, [2]int{l12, l21})
 			}
+		}
+		if err := sw.tryAll(pts); err != nil {
+			return Result2{}, err
 		}
 	}
 	// Final local polish at stride 1.
 	improved := true
 	for improved {
-		improved = false
-		c12, c21 := best.L12, best.L21
+		c12, c21 := sw.best.L12, sw.best.L21
+		pts = pts[:0]
 		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, -1}, {-1, 1}, {1, 1}, {-1, -1}} {
-			prev := best
-			if err := try(c12+d[0], c21+d[1]); err != nil {
-				return Result2{}, err
-			}
-			if best != prev {
-				improved = true
-			}
+			pts = append(pts, [2]int{c12 + d[0], c21 + d[1]})
+		}
+		prev := sw.best
+		if err := sw.tryAll(pts); err != nil {
+			return Result2{}, err
+		}
+		improved = sw.best != prev
+	}
+	sw.best.Evaluations = sw.evals
+	return sw.best, nil
+}
+
+// sweep2 is the state of one Optimize2 run: candidate filtering and
+// deduplication, the sharded batch evaluator, and the serial-order
+// reduction into the incumbent.
+type sweep2 struct {
+	s        *direct.Solver
+	m1, m2   int
+	obj      Objective
+	deadline float64
+	workers  int
+	seen     map[[2]int]bool
+	best     Result2
+	evals    int
+
+	cand [][2]int  // candidate scratch, reused across batches
+	vals []float64 // value slots, written by index from the pool
+}
+
+// tryAll evaluates one batch of candidate points: infeasible and
+// already-seen points are dropped while preserving the given (serial
+// scan) order, the survivors are evaluated concurrently into per-index
+// slots, and the slots are folded into the incumbent in that same order
+// with the objective's strict comparison. The fold is exactly the serial
+// scan's one-at-a-time try loop — a candidate replaces the incumbent
+// only when strictly better, so the earliest candidate wins ties and the
+// evaluation count matches — which is what makes the parallel sweep
+// bit-identical to the serial one at every worker count.
+func (sw *sweep2) tryAll(pts [][2]int) error {
+	cand := sw.cand[:0]
+	for _, p := range pts {
+		if p[0] < 0 || p[1] < 0 || p[0] > sw.m1 || p[1] > sw.m2 {
+			continue
+		}
+		if sw.seen[p] {
+			continue
+		}
+		sw.seen[p] = true
+		cand = append(cand, p)
+	}
+	sw.cand = cand
+	if len(cand) == 0 {
+		return nil
+	}
+	if cap(sw.vals) < len(cand) {
+		sw.vals = make([]float64, len(cand))
+	}
+	vals := sw.vals[:len(cand)]
+	sweepBatches.Inc()
+	instrumented := obs.Default() != nil
+	err := par.ForEach(sw.workers, len(cand), func(w, i int) error {
+		var t0 time.Time
+		if instrumented {
+			t0 = time.Now()
+		}
+		v, err := evaluate(sw.s, sw.m1, sw.m2, cand[i][0], cand[i][1], sw.obj, sw.deadline)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+		if instrumented {
+			// Per-worker busy time: a pool whose gauges diverge is
+			// starved by stragglers, the same signal sim exports.
+			obs.Default().Gauge(obs.Name("dtr_policy_worker_busy_seconds", "worker", w)).
+				Add(time.Since(t0).Seconds())
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sw.evals += len(cand)
+	for i, p := range cand {
+		if sw.obj.better(vals[i], sw.best.Value) {
+			sw.best = Result2{L12: p[0], L21: p[1], Value: vals[i]}
 		}
 	}
-	best.Evaluations = evals
-	return best, nil
+	return nil
 }
 
 // InitialPolicy is the eq. (5) load-balancing initializer: server i

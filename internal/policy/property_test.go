@@ -1,0 +1,91 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtr/dist"
+	"dtr/internal/core"
+	"dtr/internal/obs"
+)
+
+// randomDist draws a service/transfer law from the paper's families with
+// a random mean — the heterogeneity the property tests sweep over.
+func randomDist(r *rand.Rand, meanLo, meanHi float64) dist.Dist {
+	mean := meanLo + r.Float64()*(meanHi-meanLo)
+	switch r.Intn(3) {
+	case 0:
+		return dist.NewExponential(mean)
+	case 1:
+		return dist.NewPareto(2.5, mean)
+	default:
+		return dist.NewUniform(0.5*mean, 1.5*mean)
+	}
+}
+
+// randomModel2 builds a random heterogeneous two-server model.
+func randomModel2(r *rand.Rand) *core.Model {
+	perTask := 0.2 + r.Float64()*1.5
+	return &core.Model{
+		Service: []dist.Dist{randomDist(r, 1, 3), randomDist(r, 0.5, 1.5)},
+		Failure: []dist.Dist{dist.Never{}, dist.Never{}},
+		Transfer: func(tasks, src, dst int) dist.Dist {
+			if tasks < 1 {
+				tasks = 1
+			}
+			return dist.NewExponential(perTask * float64(tasks))
+		},
+	}
+}
+
+// TestOptimize2PropertyCoarseMatchesExhaustive: over seeded random
+// heterogeneous models, the coarse-to-fine search must land on the same
+// optimum as brute force (the metrics are smooth in the policy, which is
+// what the refinement exploits), and both searches' Evaluations must
+// exactly equal the number of solver evaluations actually performed,
+// measured by the dtr_direct_evals_total delta on a fresh registry.
+func TestOptimize2PropertyCoarseMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(20100913)) // seeded: the cases are fixed
+	for trial := 0; trial < 6; trial++ {
+		m := randomModel2(r)
+		m1 := 8 + r.Intn(17) // 8..24
+		m2 := 4 + r.Intn(9)  // 4..12
+		s := solver2(t, m, m1+m2, 1<<11, 400)
+		workers := 1 + r.Intn(4)
+
+		// countEvals wraps one search with a fresh registry and returns
+		// the result plus the measured evaluation count.
+		countEvals := func(opt Options2) (Result2, uint64) {
+			t.Helper()
+			reg := obs.NewRegistry()
+			obs.SetDefault(reg)
+			defer obs.SetDefault(nil)
+			res, err := Optimize2(s, m1, m2, ObjMeanTime, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, reg.Snapshot().Counters["dtr_direct_evals_total"]
+		}
+
+		fast, fastEvals := countEvals(Options2{Workers: workers})
+		slow, slowEvals := countEvals(Options2{Exhaustive: true, Workers: workers})
+
+		if uint64(fast.Evaluations) != fastEvals {
+			t.Fatalf("trial %d: coarse Evaluations=%d but the solver ran %d evaluations",
+				trial, fast.Evaluations, fastEvals)
+		}
+		if uint64(slow.Evaluations) != slowEvals {
+			t.Fatalf("trial %d: exhaustive Evaluations=%d but the solver ran %d evaluations",
+				trial, slow.Evaluations, slowEvals)
+		}
+		if want := (m1 + 1) * (m2 + 1); slow.Evaluations != want {
+			t.Fatalf("trial %d: exhaustive over a %dx%d lattice ran %d evaluations, want %d",
+				trial, m1+1, m2+1, slow.Evaluations, want)
+		}
+		if math.Abs(fast.Value-slow.Value) > 1e-6*math.Abs(slow.Value) {
+			t.Fatalf("trial %d (m1=%d m2=%d): coarse-to-fine %+v differs from exhaustive %+v",
+				trial, m1, m2, fast, slow)
+		}
+	}
+}

@@ -23,8 +23,12 @@ type Rebalancer = sim.Rebalancer
 // Simulate runs Monte-Carlo replications of this system under the policy
 // and returns metric estimates with confidence intervals. It works for
 // any number of servers and is the evaluation path for multi-server
-// policies, mirroring the paper's Table II methodology.
+// policies, mirroring the paper's Table II methodology. When
+// opt.Workers is unset the System's Workers setting applies.
 func (s *System) Simulate(p Policy, opt SimOptions) (SimEstimates, error) {
+	if opt.Workers == 0 {
+		opt.Workers = s.Workers
+	}
 	return sim.Estimate(s.model, s.initial, p, opt)
 }
 

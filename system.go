@@ -59,6 +59,12 @@ type System struct {
 	GridN   int
 	Horizon float64
 
+	// Workers shards the policy sweeps, Algorithm-1 refinement rows and
+	// (when SimOptions.Workers is unset) Monte-Carlo replications over a
+	// worker pool (0 = GOMAXPROCS). Results are bit-identical at every
+	// worker count; see policy.Options2.Workers.
+	Workers int
+
 	solver *direct.Solver
 }
 
@@ -208,7 +214,7 @@ func (s *System) optimize(obj policy.Objective, deadline float64) (Policy, float
 		if err != nil {
 			return nil, 0, err
 		}
-		res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{Deadline: deadline})
+		res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{Deadline: deadline, Workers: s.Workers})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -245,16 +251,24 @@ type Alg1Config struct {
 	// Estimates[i][j] is server i's (possibly dated) estimate of server
 	// j's queue length; nil = perfect information.
 	Estimates [][]int
+	// Workers shards the refinement rows (0 = the System's Workers
+	// setting, which itself defaults to GOMAXPROCS).
+	Workers int
 }
 
 // Algorithm1 computes the paper's linear-complexity multi-server DTR
 // policy for this system.
 func (s *System) Algorithm1(cfg Alg1Config) (Policy, error) {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = s.Workers
+	}
 	return policy.Algorithm1(s.model, s.initial, policy.Alg1Options{
 		Objective: cfg.Objective,
 		Deadline:  cfg.Deadline,
 		K:         cfg.K,
 		GridN:     cfg.GridN,
 		Estimates: cfg.Estimates,
+		Workers:   workers,
 	})
 }
