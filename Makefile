@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-policy clean
+.PHONY: all build test vet race bench bench-policy serve-smoke clean
 
 all: build vet test
 
@@ -19,7 +19,12 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve
+
+# Boot dtrserved on a random port, drive every endpoint plus a /metrics
+# scrape, and verify a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

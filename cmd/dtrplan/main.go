@@ -20,8 +20,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"dtr"
 	"dtr/internal/obs"
@@ -112,55 +110,6 @@ func plan(modelPath string, gridN, workers int, sub string, rest []string, out *
 	}
 }
 
-// parsePolicy reads "src>dst:count,src>dst:count,..." into a Policy.
-func parsePolicy(s string, n int) (dtr.Policy, error) {
-	p := dtr.NewPolicy(n)
-	if strings.TrimSpace(s) == "" {
-		return p, nil
-	}
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		arrow := strings.Index(part, ">")
-		colon := strings.Index(part, ":")
-		if arrow < 0 || colon < arrow {
-			return nil, fmt.Errorf("bad shipment %q (want src>dst:count)", part)
-		}
-		src, err := strconv.Atoi(part[:arrow])
-		if err != nil {
-			return nil, fmt.Errorf("bad source in %q: %w", part, err)
-		}
-		dst, err := strconv.Atoi(part[arrow+1 : colon])
-		if err != nil {
-			return nil, fmt.Errorf("bad destination in %q: %w", part, err)
-		}
-		count, err := strconv.Atoi(part[colon+1:])
-		if err != nil {
-			return nil, fmt.Errorf("bad count in %q: %w", part, err)
-		}
-		if src < 0 || src >= n || dst < 0 || dst >= n {
-			return nil, fmt.Errorf("shipment %q references server outside 0..%d", part, n-1)
-		}
-		p[src][dst] += count
-	}
-	return p, nil
-}
-
-// formatPolicy renders the non-zero shipments.
-func formatPolicy(p dtr.Policy) string {
-	var parts []string
-	for i := range p {
-		for j, l := range p[i] {
-			if l > 0 {
-				parts = append(parts, fmt.Sprintf("%d>%d:%d", i, j, l))
-			}
-		}
-	}
-	if len(parts) == 0 {
-		return "(no reallocation)"
-	}
-	return strings.Join(parts, ",")
-}
-
 func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	objective := fs.String("objective", "mean", "mean, qos or reliability")
@@ -187,7 +136,7 @@ func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "objective: %s\n", *objective)
-	fmt.Fprintf(out, "policy:    %s\n", formatPolicy(pol))
+	fmt.Fprintf(out, "policy:    %s\n", dtr.FormatPolicy(pol))
 	if sys.Model().N() == 2 {
 		fmt.Fprintf(out, "value:     %.4f\n", value)
 	} else {
@@ -203,7 +152,7 @@ func cmdMetrics(sys *dtr.System, args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := parsePolicy(*policyStr, sys.Model().N())
+	p, err := dtr.ParsePolicy(*policyStr, sys.Model().N())
 	if err != nil {
 		return err
 	}
@@ -211,7 +160,7 @@ func cmdMetrics(sys *dtr.System, args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "policy:      %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "policy:      %s\n", dtr.FormatPolicy(p))
 	fmt.Fprintf(out, "reliability: %.4f\n", rel)
 	if sys.Model().Reliable() {
 		mean, err := sys.MeanTime(p)
@@ -241,7 +190,7 @@ func cmdSimulate(sys *dtr.System, args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := parsePolicy(*policyStr, sys.Model().N())
+	p, err := dtr.ParsePolicy(*policyStr, sys.Model().N())
 	if err != nil {
 		return err
 	}
@@ -249,7 +198,7 @@ func cmdSimulate(sys *dtr.System, args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "policy:      %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "policy:      %s\n", dtr.FormatPolicy(p))
 	fmt.Fprintf(out, "reps:        %d\n", est.Reps)
 	fmt.Fprintf(out, "reliability: %.4f ± %.4f\n", est.Reliability, est.ReliabilityHalf)
 	if !math.IsNaN(est.MeanTime) {
@@ -269,7 +218,7 @@ func cmdBounds(sys *dtr.System, args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := parsePolicy(*policyStr, sys.Model().N())
+	p, err := dtr.ParsePolicy(*policyStr, sys.Model().N())
 	if err != nil {
 		return err
 	}
@@ -277,7 +226,7 @@ func cmdBounds(sys *dtr.System, args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "policy: %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "policy: %s\n", dtr.FormatPolicy(p))
 	if b.Exact {
 		fmt.Fprintln(out, "exact (at most one group per server):")
 	} else {
@@ -301,7 +250,7 @@ func cmdCDF(sys *dtr.System, args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := parsePolicy(*policyStr, sys.Model().N())
+	p, err := dtr.ParsePolicy(*policyStr, sys.Model().N())
 	if err != nil {
 		return err
 	}
@@ -325,7 +274,7 @@ func cmdCDF(sys *dtr.System, args []string, out *os.File) error {
 			end = 100
 		}
 	}
-	fmt.Fprintf(out, "policy: %s\n", formatPolicy(p))
+	fmt.Fprintf(out, "policy: %s\n", dtr.FormatPolicy(p))
 	fmt.Fprintf(out, "%12s  %s\n", "t", "P(T <= t)")
 	for i := 1; i <= *points; i++ {
 		t := end * float64(i) / float64(*points)

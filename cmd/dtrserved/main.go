@@ -1,0 +1,171 @@
+// Command dtrserved is the long-running planning service: the dtrplan
+// verbs as an HTTP/JSON daemon with request coalescing, result caching
+// and admission control (see internal/serve).
+//
+//	dtrserved -addr :8080
+//	curl -s localhost:8080/v1/optimize -d '{"spec": '"$(cat examples/specs/testbed.json)"'}'
+//
+// Endpoints (POST, JSON bodies; see the README "Serving" section):
+//
+//	/v1/optimize  optimal policy for an objective
+//	/v1/metrics   analytic metrics of a policy (two-server systems)
+//	/v1/simulate  Monte-Carlo estimates of a policy
+//	/v1/bounds    batch-arrival metric bounds
+//	/v1/cdf       completion-time distribution curve
+//	/v1/batch     fan-out of the above in one call
+//	/healthz      liveness probe (GET)
+//
+// Telemetry rides on the same listener: /metrics (Prometheus text),
+// /metrics.json, /debug/vars and — with -pprof — /debug/pprof/.
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+// requests run to completion (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dtr/internal/obs"
+	"dtr/internal/par"
+	"dtr/internal/serve"
+)
+
+// errUsage marks flag/configuration errors: usage on stderr and exit
+// status 2, matching the other CLIs' audited convention.
+var errUsage = errors.New("usage error")
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "dtrserved: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtrserved", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts driving \":0\")")
+	workers := par.BindFlag(fs)
+	maxInflight := fs.Int("max-inflight", 0, "concurrent computations admitted (0 = the -workers budget)")
+	maxQueue := fs.Int("max-queue", 0, "computations allowed to wait for a slot; beyond it requests get 429 (0 = 4×max-inflight, -1 = none)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request computation deadline; expiry answers 504")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes; beyond it requests get 413")
+	cacheSize := fs.Int("cache", 512, "result-cache entries (LRU; -1 disables caching)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting")
+	withPProf := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service listener")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error or off")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtrserved [-addr :8080] [-workers N] [-cache N] [-timeout 60s] ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: unexpected argument %q", errUsage, fs.Arg(0))
+	}
+	if err := workers.Validate(); err != nil {
+		fs.Usage()
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *timeout <= 0 || *drain <= 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: -timeout and -drain-timeout must be positive", errUsage)
+	}
+
+	// One registry for the whole process: the serve layer's own metrics
+	// plus every instrumented solver package (SetDefault binds their lazy
+	// handles), exposed on the service mux.
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	if *logLevel != "" && *logLevel != "off" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	}
+
+	svc := serve.New(serve.Config{
+		Workers:     workers.N,
+		MaxInflight: *maxInflight,
+		MaxQueued:   *maxQueue,
+		Timeout:     *timeout,
+		MaxBody:     *maxBody,
+		CacheSize:   *cacheSize,
+		Registry:    reg,
+	})
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	obs.Register(mux, reg, *withPProf)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
+			_ = ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dtrserved: listening on http://%s\n", bound)
+	obs.Logger().Info("dtrserved up", "addr", bound, "workers", par.Workers(workers.N))
+
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	obs.Logger().Info("dtrserved draining", "timeout", *drain)
+	fmt.Fprintln(os.Stderr, "dtrserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	obs.Logger().Info("dtrserved stopped")
+	return nil
+}
+
+// writeAddrFile atomically publishes the bound address so scripts that
+// started us on ":0" can find the port (write temp + rename: a reader
+// never sees a partial file).
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

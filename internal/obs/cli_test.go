@@ -60,10 +60,10 @@ func TestCLIStartStop(t *testing.T) {
 	out := errBuf.String()
 	for _, want := range []string{
 		"[obs] serving metrics on http://127.0.0.1:",
-		"metrics endpoint up",      // slog info line
-		"span done",                // StartSpan closer logs at info
-		"== metrics summary ==",    // end-of-run table
-		"dtr_cli_test_total",       // nonzero counter shown
+		"metrics endpoint up",             // slog info line
+		"span done",                       // StartSpan closer logs at info
+		"== metrics summary ==",           // end-of-run table
+		"dtr_cli_test_total",              // nonzero counter shown
 		`dtr_span_seconds{phase="solve"}`, // span histogram shown
 	} {
 		if !strings.Contains(out, want) {

@@ -38,6 +38,33 @@ func publishExpvar() {
 	})
 }
 
+// Register mounts the full exposition surface for r on mux: /metrics
+// (Prometheus text), /metrics.json (Snapshot JSON), /debug/vars (expvar)
+// and — when withPProf — the net/http/pprof handlers under
+// /debug/pprof/. Long-running daemons use it to share one mux between
+// their API and their telemetry; Serve and the CLIs route through it too.
+func Register(mux *http.ServeMux, r *Registry, withPProf bool) {
+	publishExpvar()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// NewHandler returns a standalone http.Handler exposing r — the same
+// surface Register mounts, on a fresh mux.
+func NewHandler(r *Registry, withPProf bool) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, r, withPProf)
+	return mux
+}
+
 // Server is a live metrics endpoint started by Serve.
 type Server struct {
 	// Addr is the bound address, e.g. "127.0.0.1:43521" — useful when
@@ -53,18 +80,7 @@ type Server struct {
 // listener is bound; requests are served on a background goroutine until
 // Close.
 func Serve(addr string, r *Registry, withPProf bool) (*Server, error) {
-	publishExpvar()
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/metrics.json", r.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	if withPProf {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
+	mux := NewHandler(r, withPProf)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -78,5 +79,43 @@ func TestServe(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.0.0.1:99999", NewRegistry(), false); err == nil {
 		t.Fatal("want error for a bad listen address")
+	}
+}
+
+// TestNewHandler exercises the constructible exposition handler that
+// daemons mount on their own mux (no live listener involved).
+func TestNewHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dtr_handler_test_total").Add(3)
+
+	h := NewHandler(r, true)
+	get := func(path string) (int, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "dtr_handler_test_total 3") {
+		t.Fatalf("/metrics: code %d body:\n%s", code, body)
+	}
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if snap.Counters["dtr_handler_test_total"] != 3 {
+		t.Fatalf("snapshot = %v", snap.Counters)
+	}
+	if code, _ = get("/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
 	}
 }

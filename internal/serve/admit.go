@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull rejects work when the admission queue is at capacity; the
+// HTTP layer maps it to 429 Too Many Requests.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admitter is the service's admission controller: a bounded in-flight
+// semaphore (sized off the solver worker budget) plus a bounded wait
+// queue. Computations acquire a slot before touching a solver; requests
+// that would overflow the wait queue are rejected immediately so a
+// traffic spike degrades into fast 429s instead of unbounded goroutine
+// pile-up.
+type admitter struct {
+	slots     chan struct{}
+	maxQueued int
+	queued    atomic.Int64
+
+	queueWait func(seconds float64) // observation hook (never nil)
+}
+
+func newAdmitter(maxInflight, maxQueued int, queueWait func(float64)) *admitter {
+	if queueWait == nil {
+		queueWait = func(float64) {}
+	}
+	a := &admitter{
+		slots:     make(chan struct{}, maxInflight),
+		maxQueued: maxQueued,
+		queueWait: queueWait,
+	}
+	for i := 0; i < maxInflight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire takes an in-flight slot, waiting until ctx expires. It fails
+// fast with errQueueFull when maxQueued computations are already
+// waiting.
+func (a *admitter) acquire(ctx context.Context) error {
+	select {
+	case <-a.slots:
+		a.queueWait(0)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > int64(a.maxQueued) {
+		a.queued.Add(-1)
+		return errQueueFull
+	}
+	defer a.queued.Add(-1)
+	t0 := time.Now()
+	select {
+	case <-a.slots:
+		a.queueWait(time.Since(t0).Seconds())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (a *admitter) release() {
+	a.slots <- struct{}{}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// maxBatch bounds the /v1/batch fan-out width per request.
+const maxBatch = 64
+
+// BatchItem is one sub-request of a /v1/batch call: a planning verb plus
+// its Request fields.
+type BatchItem struct {
+	Verb string `json:"verb"`
+	Request
+}
+
+// BatchRequest is the /v1/batch body.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchResult is one sub-request's outcome, in request order. Code
+// carries the status the sub-request would have received as a direct
+// call; Body its response document (200 only), Error its detail
+// otherwise.
+type BatchResult struct {
+	Code  int             `json:"code"`
+	Body  json.RawMessage `json:"body,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch answer.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// handleBatch fans a list of sub-requests through the shared pipeline
+// concurrently. Identical sub-requests coalesce onto one computation and
+// the admission semaphore bounds actual solver parallelism, so a batch
+// cannot exceed the budget a stream of direct calls would get. The batch
+// itself answers 200 whenever it was well-formed; per-item outcomes are
+// reported in order.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req BatchRequest
+	if code := s.decode(w, r, &req); code != 0 {
+		return code
+	}
+	if len(req.Requests) == 0 {
+		return s.fail(w, http.StatusBadRequest, "requests: at least one sub-request required")
+	}
+	if len(req.Requests) > maxBatch {
+		return s.fail(w, http.StatusBadRequest,
+			"requests: at most "+strconv.Itoa(maxBatch)+" sub-requests per batch")
+	}
+
+	results := make([]BatchResult, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := &req.Requests[i]
+			res := s.process(r.Context(), item.Verb, &item.Request)
+			results[i] = BatchResult{
+				Code:  res.status,
+				Body:  json.RawMessage(bytes.TrimSpace(res.body)),
+				Error: res.errMsg,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	body, err := json.Marshal(BatchResponse{Results: results})
+	if err != nil {
+		return s.fail(w, http.StatusInternalServerError, "encode response: "+err.Error())
+	}
+	body = append(body, '\n')
+	return s.write(w, result{status: http.StatusOK, body: body})
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a bounded, thread-safe result cache mapping canonical request
+// fingerprints to finished response bodies. Entries are evicted least
+// recently used; a capacity ≤ 0 disables caching entirely (every Get
+// misses, every Put is dropped).
+type lru struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recent
+	byKK map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), byKK: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body for key and marks it recently used.
+func (c *lru) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// over capacity. The body is retained as-is: callers must not mutate it
+// afterwards.
+func (c *lru) Put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKK[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.byKK[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKK, back.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

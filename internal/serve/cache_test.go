@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("3")) {
+		t.Fatalf("c = %q, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUUpdate(t *testing.T) {
+	c := newLRU(4)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if v, _ := c.Get("k"); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("k = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(-1)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestAdmitterQueueFull(t *testing.T) {
+	a := newAdmitter(1, 0, nil)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != errQueueFull {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	a.release()
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	a.release()
+}
+
+func TestAdmitterQueueWait(t *testing.T) {
+	var waited bool
+	a := newAdmitter(1, 1, func(float64) { waited = true })
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	a.release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	a.release()
+	if !waited {
+		t.Fatal("queue-wait observation not recorded")
+	}
+}
+
+func TestAdmitterContextCanceled(t *testing.T) {
+	a := newAdmitter(1, 1, nil)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	a.release()
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"dtr"
+	"dtr/modelspec"
+)
+
+// Request is the JSON body every /v1/<verb> endpoint consumes. Spec is a
+// full modelspec SystemSpec document; the remaining fields parameterize
+// the verb (fields a verb does not use are ignored and excluded from its
+// cache key):
+//
+//	optimize  grid, objective (mean|qos|reliability), deadline
+//	metrics   grid, policy, deadline
+//	simulate  policy, reps, seed, deadline
+//	bounds    grid, policy, deadline
+//	cdf       grid, policy, points, tmax
+//
+// timeoutMs bounds how long this caller waits for the result; the server
+// clamps it to its -timeout flag.
+type Request struct {
+	Spec      json.RawMessage `json:"spec"`
+	Grid      int             `json:"grid,omitempty"`
+	Policy    string          `json:"policy,omitempty"`
+	Objective string          `json:"objective,omitempty"`
+	Deadline  float64         `json:"deadline,omitempty"`
+	Reps      int             `json:"reps,omitempty"`
+	Seed      uint64          `json:"seed,omitempty"`
+	Points    int             `json:"points,omitempty"`
+	Tmax      float64         `json:"tmax,omitempty"`
+	TimeoutMS int             `json:"timeoutMs,omitempty"`
+}
+
+// Request size/range guards: a public planning endpoint must not let one
+// request commandeer the process with a gigantic lattice or replication
+// count.
+const (
+	minGrid   = 64
+	maxGrid   = 1 << 17
+	maxReps   = 1_000_000
+	maxPoints = 10_000
+)
+
+// badRequest is a client-caused failure (HTTP 400).
+type badRequest struct{ msg string }
+
+func (e badRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequest{fmt.Sprintf(format, args...)}
+}
+
+// canonOpts is the normalized option block hashed into the cache key:
+// only the fields the verb consumes, with defaults applied, so requests
+// that differ in unused or defaulted fields coalesce.
+type canonOpts struct {
+	Verb      string  `json:"verb"`
+	Grid      int     `json:"grid,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Objective string  `json:"objective,omitempty"`
+	Deadline  float64 `json:"deadline,omitempty"`
+	Reps      int     `json:"reps,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Points    int     `json:"points,omitempty"`
+	Tmax      float64 `json:"tmax,omitempty"`
+}
+
+// parsedRequest is a fully validated request, ready to compute: the spec
+// decoded and built, the policy parsed against the model, the canonical
+// fingerprint derived.
+type parsedRequest struct {
+	verb    string
+	model   *dtr.Model
+	initial []int
+	policy  dtr.Policy
+	opts    canonOpts
+	key     string        // canonical fingerprint: cache / coalescing key
+	timeout time.Duration // 0 = server default
+}
+
+// parseRequest validates req for verb and derives the canonical
+// fingerprint. All failures are badRequest errors (HTTP 400).
+func parseRequest(verb string, req *Request) (*parsedRequest, error) {
+	if len(req.Spec) == 0 {
+		return nil, badRequestf("spec: required")
+	}
+	spec, err := modelspec.Decode(req.Spec)
+	if err != nil {
+		return nil, badRequest{err.Error()}
+	}
+	model, initial, err := spec.Build()
+	if err != nil {
+		return nil, badRequest{err.Error()}
+	}
+	n := model.N()
+
+	if req.Grid != 0 && (req.Grid < minGrid || req.Grid > maxGrid) {
+		return nil, badRequestf("grid: must be 0 (default) or in [%d, %d], got %d", minGrid, maxGrid, req.Grid)
+	}
+	if math.IsNaN(req.Deadline) || math.IsInf(req.Deadline, 0) || req.Deadline < 0 {
+		return nil, badRequestf("deadline: must be a non-negative finite number, got %g", req.Deadline)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequestf("timeoutMs: must be non-negative, got %d", req.TimeoutMS)
+	}
+
+	pr := &parsedRequest{
+		verb:    verb,
+		model:   model,
+		initial: initial,
+		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		opts:    canonOpts{Verb: verb, Grid: req.Grid},
+	}
+	if pr.opts.Grid == 0 {
+		pr.opts.Grid = 8192
+	}
+
+	needPolicy := func() error {
+		p, err := dtr.ParsePolicy(req.Policy, n)
+		if err != nil {
+			return badRequest{err.Error()}
+		}
+		if err := p.Validate(initial); err != nil {
+			return badRequest{"policy: " + err.Error()}
+		}
+		pr.policy = p
+		pr.opts.Policy = canonicalPolicyString(p)
+		return nil
+	}
+	needTwoServer := func() error {
+		if n != 2 {
+			return badRequestf("%s: analytic metrics cover two-server systems (got %d servers); use simulate or bounds", verb, n)
+		}
+		return nil
+	}
+
+	switch verb {
+	case "optimize":
+		obj := req.Objective
+		if obj == "" {
+			obj = "mean"
+		}
+		switch obj {
+		case "mean":
+			if !model.Reliable() {
+				return nil, badRequestf("objective: mean is undefined with failure-prone servers; use qos or reliability")
+			}
+		case "reliability":
+		case "qos":
+			if req.Deadline <= 0 {
+				return nil, badRequestf("deadline: objective qos needs a positive deadline")
+			}
+			pr.opts.Deadline = req.Deadline
+		default:
+			return nil, badRequestf("objective: unknown objective %q", req.Objective)
+		}
+		pr.opts.Objective = obj
+	case "metrics":
+		if err := needTwoServer(); err != nil {
+			return nil, err
+		}
+		if err := needPolicy(); err != nil {
+			return nil, err
+		}
+		pr.opts.Deadline = req.Deadline
+	case "simulate":
+		if err := needPolicy(); err != nil {
+			return nil, err
+		}
+		if req.Reps < 0 || req.Reps > maxReps {
+			return nil, badRequestf("reps: must be in [0, %d] (0 = default 10000), got %d", maxReps, req.Reps)
+		}
+		pr.opts.Reps = req.Reps
+		if pr.opts.Reps == 0 {
+			pr.opts.Reps = 10000
+		}
+		pr.opts.Seed = req.Seed
+		if pr.opts.Seed == 0 {
+			pr.opts.Seed = 1
+		}
+		pr.opts.Deadline = req.Deadline
+		pr.opts.Grid = 0 // simulation does not touch the lattice
+	case "bounds":
+		if err := needPolicy(); err != nil {
+			return nil, err
+		}
+		pr.opts.Deadline = req.Deadline
+	case "cdf":
+		if err := needTwoServer(); err != nil {
+			return nil, err
+		}
+		if err := needPolicy(); err != nil {
+			return nil, err
+		}
+		if req.Points < 0 || req.Points > maxPoints {
+			return nil, badRequestf("points: must be in [0, %d] (0 = default 20), got %d", maxPoints, req.Points)
+		}
+		pr.opts.Points = req.Points
+		if pr.opts.Points == 0 {
+			pr.opts.Points = 20
+		}
+		if math.IsNaN(req.Tmax) || math.IsInf(req.Tmax, 0) || req.Tmax < 0 {
+			return nil, badRequestf("tmax: must be a non-negative finite number, got %g", req.Tmax)
+		}
+		pr.opts.Tmax = req.Tmax
+	default:
+		return nil, badRequestf("unknown verb %q", verb)
+	}
+
+	optsJSON, err := json.Marshal(pr.opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode options: %w", err)
+	}
+	key, err := spec.Fingerprint([]byte(verb), optsJSON)
+	if err != nil {
+		return nil, badRequest{err.Error()}
+	}
+	pr.key = key
+	return pr, nil
+}
+
+// canonicalPolicyString renders a parsed policy deterministically for the
+// cache key (""— not "(no reallocation)" — for the zero policy, so the
+// key form is independent of display conventions).
+func canonicalPolicyString(p dtr.Policy) string {
+	s := dtr.FormatPolicy(p)
+	if s == "(no reallocation)" {
+		return ""
+	}
+	return s
+}
+
+// Num is a float64 that marshals non-finite values as JSON null, keeping
+// response bodies valid (and byte-deterministic) when a metric is
+// undefined — e.g. mean time with failure-prone servers.
+type Num float64
+
+// MarshalJSON implements json.Marshaler.
+func (x Num) MarshalJSON() ([]byte, error) {
+	f := float64(x)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}

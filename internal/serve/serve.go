@@ -1,0 +1,290 @@
+// Package serve turns the dtr planning library into a long-running
+// HTTP/JSON service: the cmd/dtrplan verbs as POST endpoints over the
+// modelspec document format, with the three properties a central
+// controller needs under heavy traffic:
+//
+//   - request coalescing and result caching: requests are keyed by a
+//     canonical fingerprint (normalized spec + verb + normalized
+//     options), concurrent identical requests share one solver execution
+//     (singleflight) and finished results live in a bounded LRU — the
+//     solvers are deterministic for a fixed spec+seed, so cached bytes
+//     are exactly what a fresh computation would produce;
+//   - admission control: a bounded in-flight semaphore sized off the
+//     solver worker budget plus a bounded wait queue, per-request
+//     deadlines via context, and 413/429/504 on oversized, overflowing
+//     and expired requests respectively;
+//   - observability: request/error counters by endpoint and status,
+//     latency and queue-wait histograms, in-flight and cache-size gauges
+//     on an internal/obs registry, exposable on the same mux.
+//
+// Endpoints: POST /v1/optimize, /v1/metrics, /v1/simulate, /v1/bounds,
+// /v1/cdf, /v1/batch, plus GET /healthz.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dtr/internal/obs"
+	"dtr/internal/par"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers is the solver worker budget shared with internal/par
+	// semantics (0 = GOMAXPROCS). It sizes both each computation's
+	// parallelism and, by default, the admission semaphore.
+	Workers int
+	// MaxInflight bounds concurrently executing computations
+	// (0 = resolved Workers).
+	MaxInflight int
+	// MaxQueued bounds computations waiting for an in-flight slot
+	// (0 = 4×MaxInflight; negative = no waiting). Overflow → 429.
+	MaxQueued int
+	// Timeout caps every computation and is the default per-request
+	// deadline (0 = 60s). Expiry → 504.
+	Timeout time.Duration
+	// MaxBody caps request bodies in bytes (0 = 1 MiB). Overflow → 413.
+	MaxBody int64
+	// CacheSize bounds the result cache in entries (0 = 512; negative
+	// disables caching).
+	CacheSize int
+	// Registry receives the service metrics (nil = metrics off).
+	Registry *obs.Registry
+}
+
+// Service is the planning service. Create with New, mount with Register
+// or Handler.
+type Service struct {
+	cfg    Config
+	cache  *lru
+	flight *flightGroup
+	admit  *admitter
+	reg    *obs.Registry
+}
+
+// Verbs lists the planning verbs served under /v1/, in registration
+// order.
+var Verbs = []string{"optimize", "metrics", "simulate", "bounds", "cdf"}
+
+// New builds a Service from cfg, applying defaults.
+func New(cfg Config) *Service {
+	cfg.Workers = par.Workers(cfg.Workers)
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = cfg.Workers
+	}
+	switch {
+	case cfg.MaxQueued == 0:
+		cfg.MaxQueued = 4 * cfg.MaxInflight
+	case cfg.MaxQueued < 0:
+		cfg.MaxQueued = 0
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 512
+	}
+	s := &Service{
+		cfg:    cfg,
+		cache:  newLRU(cfg.CacheSize),
+		flight: newFlightGroup(),
+		reg:    cfg.Registry,
+	}
+	s.admit = newAdmitter(cfg.MaxInflight, cfg.MaxQueued, func(sec float64) {
+		s.reg.Histogram("dtr_serve_queue_wait_seconds", nil).Observe(sec)
+	})
+	return s
+}
+
+// Register mounts the /v1/ endpoints and /healthz on mux.
+func (s *Service) Register(mux *http.ServeMux) {
+	for _, verb := range Verbs {
+		mux.Handle("/v1/"+verb, s.endpoint(verb, s.handleVerb(verb)))
+	}
+	mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+}
+
+// Handler returns the service on a fresh mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// result is a finished computation outcome flowing between the internal
+// pipeline and the HTTP layer.
+type result struct {
+	status int
+	body   []byte // response JSON for 200, nil otherwise
+	errMsg string // detail for non-200
+}
+
+// endpoint wraps a handler with the shared instrumentation: per-endpoint
+// request counters by status code and a latency histogram.
+func (s *Service) endpoint(name string, h func(w http.ResponseWriter, r *http.Request) int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		code := h(w, r)
+		s.reg.Histogram(obs.Name("dtr_serve_latency_seconds", "endpoint", name), nil).
+			Observe(time.Since(t0).Seconds())
+		s.reg.Counter(obs.Name("dtr_serve_requests_total", "endpoint", name, "code", strconv.Itoa(code))).Add(1)
+	})
+}
+
+// handleVerb builds the handler for one planning verb.
+func (s *Service) handleVerb(verb string) func(http.ResponseWriter, *http.Request) int {
+	return func(w http.ResponseWriter, r *http.Request) int {
+		var req Request
+		if code := s.decode(w, r, &req); code != 0 {
+			return code
+		}
+		res := s.process(r.Context(), verb, &req)
+		return s.write(w, res)
+	}
+}
+
+// decode reads and strictly parses a JSON body into dst, answering
+// 405/413/400 itself (returning the code) on failure; 0 means success.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, dst any) int {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return s.fail(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBody))
+		}
+		return s.fail(w, http.StatusBadRequest, "invalid request JSON: "+err.Error())
+	}
+	return 0
+}
+
+// process is the verb pipeline shared by the direct endpoints and the
+// batch fan-out: validate → cache → coalesce → admit → compute.
+func (s *Service) process(ctx context.Context, verb string, req *Request) result {
+	pr, err := parseRequest(verb, req)
+	if err != nil {
+		var bad badRequest
+		if errors.As(err, &bad) {
+			return result{status: http.StatusBadRequest, errMsg: bad.Error()}
+		}
+		return result{status: http.StatusInternalServerError, errMsg: err.Error()}
+	}
+
+	// Bound how long this caller waits: its own timeoutMs if set (clamped
+	// to the server cap), the server cap otherwise.
+	wait := s.cfg.Timeout
+	if pr.timeout > 0 && pr.timeout < wait {
+		wait = pr.timeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+
+	if body, ok := s.cache.Get(pr.key); ok {
+		s.reg.Counter("dtr_serve_cache_hits_total").Add(1)
+		return result{status: http.StatusOK, body: body}
+	}
+	s.reg.Counter("dtr_serve_cache_misses_total").Add(1)
+
+	f, leader := s.flight.join(pr.key)
+	if leader {
+		// Run the flight on its own goroutine under the server-wide
+		// timeout, detached from this caller's context: if this caller
+		// gives up early, coalesced followers (and the cache) still get
+		// the result.
+		go s.runFlight(pr, f)
+	} else {
+		s.reg.Counter("dtr_serve_coalesced_total").Add(1)
+	}
+
+	select {
+	case <-f.done:
+		return result{status: f.status, body: f.body, errMsg: f.errMsg}
+	case <-ctx.Done():
+		return result{status: http.StatusGatewayTimeout,
+			errMsg: fmt.Sprintf("deadline exceeded after %s (the computation continues and will be cached)", wait)}
+	}
+}
+
+// runFlight executes one coalesced computation: admission, solve,
+// encode, cache.
+func (s *Service) runFlight(pr *parsedRequest, f *flight) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	defer cancel()
+
+	if err := s.admit.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.flight.finish(pr.key, f, nil, http.StatusTooManyRequests,
+				fmt.Sprintf("over capacity: %d computations running and %d queued",
+					s.cfg.MaxInflight, s.cfg.MaxQueued))
+			return
+		}
+		s.flight.finish(pr.key, f, nil, http.StatusGatewayTimeout,
+			"timed out waiting for an execution slot")
+		return
+	}
+	defer s.admit.release()
+
+	s.reg.Gauge("dtr_serve_inflight").Add(1)
+	defer s.reg.Gauge("dtr_serve_inflight").Add(-1)
+	s.reg.Counter("dtr_serve_computes_total").Add(1)
+
+	resp, err := compute(pr, s.cfg.Workers)
+	if err != nil {
+		s.flight.finish(pr.key, f, nil, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.flight.finish(pr.key, f, nil, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(pr.key, body)
+	s.reg.Gauge("dtr_serve_cache_entries").Set(float64(s.cache.Len()))
+	s.flight.finish(pr.key, f, body, http.StatusOK, "")
+}
+
+// write sends a finished result as the HTTP response.
+func (s *Service) write(w http.ResponseWriter, res result) int {
+	if res.status == http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(res.body)
+		return res.status
+	}
+	return s.fail(w, res.status, res.errMsg)
+}
+
+// fail sends an ErrorResponse and returns the code for instrumentation.
+func (s *Service) fail(w http.ResponseWriter, code int, msg string) int {
+	s.reg.Counter(obs.Name("dtr_serve_errors_total", "code", strconv.Itoa(code))).Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(ErrorResponse{Error: msg})
+	return code
+}

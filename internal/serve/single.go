@@ -1,0 +1,52 @@
+package serve
+
+import "sync"
+
+// flight is one in-progress computation shared by every request that
+// arrived with the same canonical fingerprint while it ran. The leader
+// fills result/status and closes done; followers wait on done (or their
+// own context) and read the shared outcome.
+type flight struct {
+	done   chan struct{}
+	body   []byte // response body (nil when the computation failed)
+	status int    // HTTP status of the outcome
+	errMsg string // error detail when status != 200
+}
+
+// flightGroup implements request coalescing (the singleflight pattern,
+// stdlib-only): Do returns the flight for a key, creating it — and
+// electing the caller leader — when none is running.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight registered for key, creating it when absent.
+// The second result reports leadership: the leader must compute, call
+// finish, and is responsible for the flight's lifecycle.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the key so later
+// identical requests start fresh (or hit the result cache).
+func (g *flightGroup) finish(key string, f *flight, body []byte, status int, errMsg string) {
+	f.body = body
+	f.status = status
+	f.errMsg = errMsg
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

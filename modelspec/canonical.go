@@ -1,0 +1,181 @@
+package modelspec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements spec canonicalization: a normal form in which two
+// SystemSpec documents that build identical models produce byte-identical
+// JSON. Long-running planners (cmd/dtrserved) key result caches off this
+// form, so requests that differ only in field order, whitespace, or
+// explicitly-spelled defaults coalesce onto one solver execution.
+
+// normalized returns the canonical form of a distribution spec: family
+// defaults made explicit, fields the family ignores zeroed, and the
+// mean-form uniform rewritten to its equivalent [low, high] form. When
+// transfer is set the law is a group-transfer family whose mean is
+// overridden by perTaskMean scaling, so the Mean field is dropped unless
+// the family pins it (fixed-interval uniform, explicit deterministic
+// value). The spec must already have passed build.
+func (s DistSpec) normalized(transfer bool) DistSpec {
+	n := DistSpec{Type: s.Type}
+	mean := s.Mean
+	shape := func(def float64) float64 {
+		if s.Shape == 0 {
+			return def
+		}
+		return s.Shape
+	}
+	frac := s.ShiftFrac
+	if frac == 0 {
+		frac = 0.5
+	}
+	switch s.Type {
+	case "exponential":
+		if !transfer {
+			n.Mean = mean
+		}
+	case "shifted-exponential":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.ShiftFrac = frac
+	case "pareto":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Alpha = s.Alpha
+		if n.Alpha == 0 {
+			n.Alpha = 2.5
+		}
+	case "uniform":
+		if s.Low != 0 || s.High != 0 {
+			n.Low, n.High = s.Low, s.High
+		} else if !transfer {
+			n.Low, n.High = mean/2, 3*mean/2
+		}
+	case "gamma":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Shape = shape(2)
+	case "shifted-gamma":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Shape = shape(2)
+		n.ShiftFrac = frac
+	case "weibull":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Shape = shape(0.7)
+	case "lognormal":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Sigma = s.Sigma
+		if n.Sigma == 0 {
+			n.Sigma = 1
+		}
+	case "hyperexponential":
+		if !transfer {
+			n.Mean = mean
+		}
+		n.Scv = s.Scv
+		if n.Scv == 0 {
+			n.Scv = 4
+		}
+	case "deterministic":
+		if s.Value != 0 {
+			n.Value = s.Value
+		} else if !transfer {
+			n.Value = mean
+		}
+	case "never":
+		// No parameters.
+	}
+	return n
+}
+
+// Canonical validates the spec and returns its normal form: defaults
+// explicit, ignored fields dropped, equivalent parameterizations
+// rewritten to one representation. Two specs that build identical models
+// have equal canonical forms.
+func (s *SystemSpec) Canonical() (*SystemSpec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &SystemSpec{}
+	for _, srv := range s.Servers {
+		ns := ServerSpec{Queue: srv.Queue, Service: srv.Service.normalized(false)}
+		if srv.Failure != nil {
+			nf := srv.Failure.normalized(false)
+			// An explicit "never" failure law is the same as none.
+			if nf.Type != "never" {
+				ns.Failure = &nf
+			}
+		}
+		c.Servers = append(c.Servers, ns)
+	}
+	c.Transfer = TransferSpec{
+		DistSpec:    s.Transfer.normalized(true),
+		PerTaskMean: s.Transfer.PerTaskMean,
+	}
+	if s.FN != nil {
+		c.FN = &TransferSpec{
+			DistSpec:    s.FN.normalized(true),
+			PerTaskMean: s.FN.PerTaskMean,
+		}
+	}
+	return c, nil
+}
+
+// CanonicalJSON renders the canonical form as compact JSON. The bytes
+// are deterministic: encoding/json emits struct fields in declaration
+// order and float formatting is exact, so equal canonical forms yield
+// equal bytes.
+func (s *SystemSpec) CanonicalJSON() ([]byte, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("modelspec: canonical encode: %w", err)
+	}
+	return b, nil
+}
+
+// Fingerprint returns a stable hex digest of the canonical form plus any
+// extra context bytes (a verb name, encoded options). It is the cache
+// key used by the planning service.
+func (s *SystemSpec) Fingerprint(extra ...[]byte) (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(b)
+	for _, e := range extra {
+		h.Write([]byte{0}) // unambiguous separator
+		h.Write(e)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Decode reads a SystemSpec document from raw JSON without building it
+// (unknown fields rejected). Pair with Validate or Build.
+func Decode(data []byte) (*SystemSpec, error) {
+	var spec SystemSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("modelspec: %w", err)
+	}
+	return &spec, nil
+}

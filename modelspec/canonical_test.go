@@ -1,0 +1,194 @@
+package modelspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeT parses a spec document or fails the test.
+func decodeT(t *testing.T, doc string) *SystemSpec {
+	t.Helper()
+	s, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatalf("decode %s: %v", doc, err)
+	}
+	return s
+}
+
+// TestCanonicalEquivalence: specs that build the same model canonicalize
+// to the same bytes — whitespace, field order, spelled-out defaults and
+// the mean-form uniform all collapse.
+func TestCanonicalEquivalence(t *testing.T) {
+	pairs := [][2]string{
+		{ // whitespace and key order
+			`{"servers":[{"queue":5,"service":{"type":"exponential","mean":2}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			`{ "transfer": {"perTaskMean": 1, "type": "exponential"},
+			   "servers": [ {"service": {"mean": 2, "type": "exponential"}, "queue": 5} ] }`,
+		},
+		{ // explicit defaults vs omitted
+			`{"servers":[{"queue":5,"service":{"type":"pareto","mean":2}}],"transfer":{"type":"shifted-gamma","perTaskMean":1}}`,
+			`{"servers":[{"queue":5,"service":{"type":"pareto","mean":2,"alpha":2.5}}],"transfer":{"type":"shifted-gamma","perTaskMean":1,"shape":2,"shiftFrac":0.5}}`,
+		},
+		{ // mean-form uniform vs equivalent [low, high]
+			`{"servers":[{"queue":5,"service":{"type":"uniform","mean":2}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			`{"servers":[{"queue":5,"service":{"type":"uniform","low":1,"high":3}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+		},
+		{ // a transfer law's mean field is ignored (perTaskMean scales it)
+			`{"servers":[{"queue":5,"service":{"type":"exponential","mean":2}}],"transfer":{"type":"gamma","perTaskMean":1}}`,
+			`{"servers":[{"queue":5,"service":{"type":"exponential","mean":2}}],"transfer":{"type":"gamma","perTaskMean":1,"mean":99}}`,
+		},
+		{ // explicit "never" failure == no failure section
+			`{"servers":[{"queue":5,"service":{"type":"exponential","mean":2}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			`{"servers":[{"queue":5,"service":{"type":"exponential","mean":2},"failure":{"type":"never"}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+		},
+	}
+	for _, pair := range pairs {
+		a, err := decodeT(t, pair[0]).CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical %s: %v", pair[0], err)
+		}
+		b, err := decodeT(t, pair[1]).CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical %s: %v", pair[1], err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("canonical forms differ:\n%s\n%s\nfor\n%s\n%s", a, b, pair[0], pair[1])
+		}
+	}
+}
+
+// TestCanonicalDistinguishes: genuinely different models must not
+// collapse onto one canonical form.
+func TestCanonicalDistinguishes(t *testing.T) {
+	base := `{"servers":[{"queue":5,"service":{"type":"pareto","mean":2}}],"transfer":{"type":"exponential","perTaskMean":1}}`
+	different := []string{
+		`{"servers":[{"queue":6,"service":{"type":"pareto","mean":2}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+		`{"servers":[{"queue":5,"service":{"type":"pareto","mean":3}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+		`{"servers":[{"queue":5,"service":{"type":"pareto","mean":2,"alpha":3}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+		`{"servers":[{"queue":5,"service":{"type":"pareto","mean":2}}],"transfer":{"type":"exponential","perTaskMean":2}}`,
+		`{"servers":[{"queue":5,"service":{"type":"pareto","mean":2}}],"transfer":{"type":"gamma","perTaskMean":1}}`,
+	}
+	a, err := decodeT(t, base).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range different {
+		b, err := decodeT(t, doc).CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical %s: %v", doc, err)
+		}
+		if string(a) == string(b) {
+			t.Errorf("distinct specs share a canonical form:\n%s\n%s", base, doc)
+		}
+	}
+}
+
+// TestCanonicalStable: canonicalization is idempotent and the canonical
+// form still builds the same shape of model.
+func TestCanonicalStable(t *testing.T) {
+	s := decodeT(t, testbedJSON)
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b0) != string(b1) {
+		t.Fatalf("canonicalization not idempotent:\n%s\n%s", b0, b1)
+	}
+	m, initial, err := c1.Build()
+	if err != nil {
+		t.Fatalf("canonical form does not build: %v", err)
+	}
+	if m.N() != 2 || initial[0] != 50 || initial[1] != 25 {
+		t.Fatalf("canonical build mismatch: n=%d initial=%v", m.N(), initial)
+	}
+}
+
+// TestFingerprint: stable across calls, sensitive to the extra context.
+func TestFingerprint(t *testing.T) {
+	s := decodeT(t, testbedJSON)
+	f1, err := s.Fingerprint([]byte("optimize"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Fingerprint([]byte("optimize"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatalf("fingerprint unstable: %s vs %s", f1, f2)
+	}
+	f3, err := s.Fingerprint([]byte("simulate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f3 {
+		t.Fatal("fingerprint ignores the verb context")
+	}
+	if len(f1) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(f1))
+	}
+}
+
+// TestValidateFieldQualified: the hardened validation names the exact
+// offending field.
+func TestValidateFieldQualified(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`{"servers":[{"queue":-3,"service":{"type":"exponential","mean":1}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			"servers[0].queue"},
+		{`{"servers":[{"queue":1,"service":{"type":"exponential","mean":1}},{"queue":1,"service":{"type":"pareto","mean":1,"alpha":0.5}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			"servers[1].service.alpha"},
+		{`{"servers":[{"queue":1,"service":{"type":"exponential","mean":1}}],"transfer":{"type":"exponential","perTaskMean":-2}}`,
+			"transfer.perTaskMean"},
+		{`{"servers":[{"queue":1,"service":{"type":"gamma","mean":1,"shape":-1}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			"servers[0].service.shape"},
+		{`{"servers":[{"queue":1,"service":{"type":"exponential","mean":1},"failure":{"type":"lognormal","mean":5,"sigma":-2}}],"transfer":{"type":"exponential","perTaskMean":1}}`,
+			"servers[0].failure.sigma"},
+	}
+	for _, c := range cases {
+		err := decodeT(t, c.doc).Validate()
+		if err == nil {
+			t.Errorf("spec should fail: %s", c.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not name %q", err, c.want)
+		}
+	}
+}
+
+// TestValidateRejectsNonFinite: NaN/Inf parameters injected through the
+// Go API (JSON cannot encode them) are rejected, never passed to solvers.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	spec := &SystemSpec{
+		Servers: []ServerSpec{
+			{Queue: 1, Service: DistSpec{Type: "exponential", Mean: nan}},
+		},
+		Transfer: TransferSpec{DistSpec: DistSpec{Type: "exponential"}, PerTaskMean: 1},
+	}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("NaN service mean accepted")
+	}
+	if !strings.Contains(err.Error(), "servers[0].service.mean") {
+		t.Fatalf("error %q does not name the field", err)
+	}
+
+	spec.Servers[0].Service.Mean = 1
+	spec.Transfer.PerTaskMean = nan
+	if err := spec.Validate(); err == nil {
+		t.Fatal("NaN perTaskMean accepted")
+	}
+}

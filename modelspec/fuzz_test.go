@@ -13,7 +13,34 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"servers":[{"queue":1,"service":{"type":"exponential","mean":1}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
 	f.Add(`{"servers":[{"queue":0,"service":{"type":"never"}}],"transfer":{"type":"pareto","perTaskMean":2,"alpha":1.5}}`)
 	f.Add(`[1,2,3]`)
+	f.Add(`{"servers":[{"queue":1,"service":{"type":"gamma","mean":1e308,"shape":1e-300}}],"transfer":{"type":"exponential","perTaskMean":1e308}}`)
+	f.Add(`{"servers":[{"queue":1,"service":{"type":"lognormal","mean":1,"sigma":-3}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
+	f.Add(`{"servers":[{"queue":-9,"service":{"type":"deterministic","value":-1}}],"transfer":{"type":"uniform","perTaskMean":1,"low":-1,"high":-2}}`)
 	f.Fuzz(func(t *testing.T, doc string) {
+		// Decode-then-validate must never panic, whatever the bytes.
+		if spec, derr := Decode([]byte(doc)); derr == nil {
+			verr := spec.Validate()
+			if verr == nil {
+				// Valid specs must canonicalize, and the canonical form
+				// must itself be valid and stable.
+				b1, cerr := spec.CanonicalJSON()
+				if cerr != nil {
+					t.Fatalf("valid spec fails to canonicalize: %v\n%s", cerr, doc)
+				}
+				c, cerr := Decode(b1)
+				if cerr != nil {
+					t.Fatalf("canonical form does not decode: %v\n%s", cerr, b1)
+				}
+				b2, cerr := c.CanonicalJSON()
+				if cerr != nil {
+					t.Fatalf("canonical form invalid: %v\n%s", cerr, b1)
+				}
+				if string(b1) != string(b2) {
+					t.Fatalf("canonicalization unstable:\n%s\n%s", b1, b2)
+				}
+			}
+		}
+
 		m, initial, err := Parse(strings.NewReader(doc))
 		if err != nil {
 			return

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"dtr"
@@ -55,18 +56,76 @@ type DistSpec struct {
 	Value     float64 `json:"value,omitempty"`
 }
 
-// Dist materializes the specification (withMean overrides the Mean field
-// when positive — used by the per-task transfer scaling).
-func (s DistSpec) build(withMean float64) (dist.Dist, error) {
+// fieldErr builds a field-qualified error: "modelspec: servers[0].service.mean: ...".
+func fieldErr(path, field, format string, args ...any) error {
+	at := path
+	if at != "" && field != "" {
+		at += "." + field
+	} else if at == "" {
+		at = field
+	}
+	return fmt.Errorf("modelspec: %s: %s", at, fmt.Sprintf(format, args...))
+}
+
+// maxParam bounds every distribution parameter's magnitude so that the
+// derived quantities the builders compute (3·mean/2, shiftFrac·mean,
+// perTaskMean·L, ...) stay finite.
+const maxParam = 1e300
+
+// checkFinite rejects NaN, ±Inf and absurdly-large parameters before
+// they can poison the solvers' lattices.
+func (s DistSpec) checkFinite(path string) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean", s.Mean}, {"alpha", s.Alpha}, {"shape", s.Shape},
+		{"sigma", s.Sigma}, {"scv", s.Scv}, {"shiftFrac", s.ShiftFrac},
+		{"low", s.Low}, {"high", s.High}, {"value", s.Value},
+	} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || math.Abs(p.v) > maxParam {
+			return fieldErr(path, p.name, "must be finite with magnitude at most %g, got %g", maxParam, p.v)
+		}
+	}
+	return nil
+}
+
+// build materializes the specification. path qualifies error messages
+// ("servers[0].service", "transfer", ...); withMean overrides the Mean
+// field when positive — used by the per-task transfer scaling.
+func (s DistSpec) build(path string, withMean float64) (dist.Dist, error) {
+	if err := s.checkFinite(path); err != nil {
+		return nil, err
+	}
 	mean := s.Mean
 	if withMean > 0 {
 		mean = withMean
 	}
 	needMean := func() error {
-		if mean <= 0 {
-			return fmt.Errorf("modelspec: %q needs a positive mean, got %g", s.Type, mean)
+		if mean <= 0 || math.IsInf(mean, 0) {
+			return fieldErr(path, "mean", "%q needs a positive finite mean, got %g", s.Type, mean)
 		}
 		return nil
+	}
+	needShape := func(def float64) (float64, error) {
+		shape := s.Shape
+		if shape == 0 {
+			shape = def
+		}
+		if shape < 0 {
+			return 0, fieldErr(path, "shape", "must be positive, got %g", shape)
+		}
+		return shape, nil
+	}
+	needShiftFrac := func() (float64, error) {
+		frac := s.ShiftFrac
+		if frac == 0 {
+			frac = 0.5
+		}
+		if frac < 0 || frac >= 1 {
+			return 0, fieldErr(path, "shiftFrac", "must be in [0, 1), got %g", frac)
+		}
+		return frac, nil
 	}
 	switch s.Type {
 	case "exponential":
@@ -78,12 +137,9 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 		if err := needMean(); err != nil {
 			return nil, err
 		}
-		frac := s.ShiftFrac
-		if frac == 0 {
-			frac = 0.5
-		}
-		if frac < 0 || frac >= 1 {
-			return nil, fmt.Errorf("modelspec: shiftFrac must be in [0, 1), got %g", frac)
+		frac, err := needShiftFrac()
+		if err != nil {
+			return nil, err
 		}
 		return dist.NewShiftedExponential(frac*mean, mean), nil
 	case "pareto":
@@ -95,13 +151,13 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 			alpha = 2.5
 		}
 		if alpha <= 1 {
-			return nil, fmt.Errorf("modelspec: pareto alpha must exceed 1, got %g", alpha)
+			return nil, fieldErr(path, "alpha", "pareto alpha must exceed 1, got %g", alpha)
 		}
 		return dist.NewPareto(alpha, mean), nil
 	case "uniform":
 		if s.Low != 0 || s.High != 0 {
 			if !(s.Low < s.High) || s.Low < 0 {
-				return nil, fmt.Errorf("modelspec: invalid uniform [%g, %g]", s.Low, s.High)
+				return nil, fieldErr(path, "", "invalid uniform [%g, %g]", s.Low, s.High)
 			}
 			return dist.NewUniform(s.Low, s.High), nil
 		}
@@ -113,34 +169,31 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 		if err := needMean(); err != nil {
 			return nil, err
 		}
-		shape := s.Shape
-		if shape == 0 {
-			shape = 2
+		shape, err := needShape(2)
+		if err != nil {
+			return nil, err
 		}
 		return dist.NewGamma(shape, mean), nil
 	case "shifted-gamma":
 		if err := needMean(); err != nil {
 			return nil, err
 		}
-		shape := s.Shape
-		if shape == 0 {
-			shape = 2
+		shape, err := needShape(2)
+		if err != nil {
+			return nil, err
 		}
-		frac := s.ShiftFrac
-		if frac == 0 {
-			frac = 0.5
-		}
-		if frac < 0 || frac >= 1 {
-			return nil, fmt.Errorf("modelspec: shiftFrac must be in [0, 1), got %g", frac)
+		frac, err := needShiftFrac()
+		if err != nil {
+			return nil, err
 		}
 		return dist.NewShiftedGammaMean(frac*mean, shape, mean), nil
 	case "weibull":
 		if err := needMean(); err != nil {
 			return nil, err
 		}
-		shape := s.Shape
-		if shape == 0 {
-			shape = 0.7
+		shape, err := needShape(0.7)
+		if err != nil {
+			return nil, err
 		}
 		return dist.NewWeibull(shape, mean), nil
 	case "lognormal":
@@ -150,6 +203,9 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 		sigma := s.Sigma
 		if sigma == 0 {
 			sigma = 1
+		}
+		if sigma < 0 {
+			return nil, fieldErr(path, "sigma", "must be positive, got %g", sigma)
 		}
 		return dist.NewLogNormal(sigma, mean), nil
 	case "hyperexponential":
@@ -161,7 +217,7 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 			scv = 4
 		}
 		if scv <= 1 {
-			return nil, fmt.Errorf("modelspec: hyperexponential scv must exceed 1, got %g", scv)
+			return nil, fieldErr(path, "scv", "hyperexponential scv must exceed 1, got %g", scv)
 		}
 		return dist.NewHyperExponential2(mean, scv), nil
 	case "deterministic":
@@ -169,21 +225,21 @@ func (s DistSpec) build(withMean float64) (dist.Dist, error) {
 		if v == 0 {
 			v = mean
 		}
-		if v < 0 {
-			return nil, fmt.Errorf("modelspec: deterministic value must be non-negative, got %g", v)
+		if v < 0 || math.IsInf(v, 0) {
+			return nil, fieldErr(path, "value", "deterministic value must be non-negative and finite, got %g", v)
 		}
 		return dist.NewDeterministic(v), nil
 	case "never":
 		return dist.Never{}, nil
 	case "":
-		return nil, fmt.Errorf("modelspec: distribution type missing")
+		return nil, fieldErr(path, "type", "distribution type missing")
 	default:
-		return nil, fmt.Errorf("modelspec: unknown distribution type %q", s.Type)
+		return nil, fieldErr(path, "type", "unknown distribution type %q", s.Type)
 	}
 }
 
 // Dist materializes a standalone distribution specification.
-func (s DistSpec) Dist() (dist.Dist, error) { return s.build(0) }
+func (s DistSpec) Dist() (dist.Dist, error) { return s.build("", 0) }
 
 // ServerSpec describes one server: its queue at t = 0, its service law,
 // and an optional failure law (absent = reliable).
@@ -208,29 +264,31 @@ type SystemSpec struct {
 }
 
 // Build materializes the specification into a model and its initial
-// allocation.
+// allocation. Errors are field-qualified ("modelspec:
+// servers[1].service.mean: ...") so API layers can report the offending
+// field verbatim.
 func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 	if len(s.Servers) == 0 {
-		return nil, nil, fmt.Errorf("modelspec: no servers")
+		return nil, nil, fmt.Errorf("modelspec: servers: at least one server required")
 	}
-	if s.Transfer.PerTaskMean <= 0 {
-		return nil, nil, fmt.Errorf("modelspec: transfer.perTaskMean must be positive, got %g", s.Transfer.PerTaskMean)
+	if err := checkPerTaskMean("transfer", s.Transfer.PerTaskMean); err != nil {
+		return nil, nil, err
 	}
 	m := &dtr.Model{}
 	var initial []int
 	for i, srv := range s.Servers {
 		if srv.Queue < 0 {
-			return nil, nil, fmt.Errorf("modelspec: server %d has negative queue %d", i, srv.Queue)
+			return nil, nil, fieldErr(fmt.Sprintf("servers[%d]", i), "queue", "must be non-negative, got %d", srv.Queue)
 		}
-		service, err := srv.Service.Dist()
+		service, err := srv.Service.build(fmt.Sprintf("servers[%d].service", i), 0)
 		if err != nil {
-			return nil, nil, fmt.Errorf("modelspec: server %d service: %w", i, err)
+			return nil, nil, err
 		}
 		var failure dist.Dist = dist.Never{}
 		if srv.Failure != nil {
-			failure, err = srv.Failure.Dist()
+			failure, err = srv.Failure.build(fmt.Sprintf("servers[%d].failure", i), 0)
 			if err != nil {
-				return nil, nil, fmt.Errorf("modelspec: server %d failure: %w", i, err)
+				return nil, nil, err
 			}
 		}
 		m.Service = append(m.Service, service)
@@ -241,14 +299,20 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 	// Validate the transfer family once with a reference group size, then
 	// capture the spec in the closure.
 	tspec := s.Transfer
-	if _, err := tspec.build(tspec.PerTaskMean); err != nil {
-		return nil, nil, fmt.Errorf("modelspec: transfer: %w", err)
+	if _, err := tspec.build("transfer", tspec.PerTaskMean); err != nil {
+		return nil, nil, err
 	}
 	m.Transfer = func(tasks, src, dst int) dist.Dist {
 		if tasks < 1 {
 			tasks = 1
 		}
-		d, err := tspec.build(tspec.PerTaskMean * float64(tasks))
+		// Clamp the scaled group mean so enormous (but individually
+		// valid) perTaskMean × group-size products cannot overflow.
+		mean := tspec.PerTaskMean * float64(tasks)
+		if mean > maxParam {
+			mean = maxParam
+		}
+		d, err := tspec.build("transfer", mean)
 		if err != nil {
 			panic(fmt.Sprintf("modelspec: transfer spec became invalid: %v", err))
 		}
@@ -256,14 +320,14 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 	}
 	if s.FN != nil {
 		fspec := *s.FN
-		if fspec.PerTaskMean <= 0 {
-			return nil, nil, fmt.Errorf("modelspec: fn.perTaskMean must be positive")
+		if err := checkPerTaskMean("fn", fspec.PerTaskMean); err != nil {
+			return nil, nil, err
 		}
-		if _, err := fspec.build(fspec.PerTaskMean); err != nil {
-			return nil, nil, fmt.Errorf("modelspec: fn: %w", err)
+		if _, err := fspec.build("fn", fspec.PerTaskMean); err != nil {
+			return nil, nil, err
 		}
 		m.FN = func(src, dst int) dist.Dist {
-			d, err := fspec.build(fspec.PerTaskMean)
+			d, err := fspec.build("fn", fspec.PerTaskMean)
 			if err != nil {
 				panic(fmt.Sprintf("modelspec: fn spec became invalid: %v", err))
 			}
@@ -274,6 +338,22 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 		return nil, nil, err
 	}
 	return m, initial, nil
+}
+
+// checkPerTaskMean validates a transfer-law scale factor.
+func checkPerTaskMean(path string, v float64) error {
+	if !(v > 0) || v > maxParam { // !(v > 0) also catches NaN
+		return fieldErr(path, "perTaskMean", "must be positive and finite (at most %g), got %g", maxParam, v)
+	}
+	return nil
+}
+
+// Validate checks the specification without keeping the built model:
+// structural errors, negative queues and NaN/Inf/out-of-range
+// distribution parameters are all reported with field-qualified paths.
+func (s *SystemSpec) Validate() error {
+	_, _, err := s.Build()
+	return err
 }
 
 // Parse reads a SystemSpec document from r and builds it.

@@ -1,0 +1,65 @@
+package dtr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePolicy reads the shipment syntax shared by cmd/dtrplan and the
+// planning service — comma-separated "src>dst:count" terms with 0-based
+// server indices, e.g. "0>1:26" or "0>2:4,1>2:3" — into a Policy for an
+// n-server system. Whitespace around terms is ignored; the empty string
+// is the no-reallocation policy.
+func ParsePolicy(s string, n int) (Policy, error) {
+	p := NewPolicy(n)
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		arrow := strings.Index(part, ">")
+		colon := strings.Index(part, ":")
+		if arrow < 0 || colon < arrow {
+			return nil, fmt.Errorf("dtr: bad shipment %q (want src>dst:count)", part)
+		}
+		src, err := strconv.Atoi(part[:arrow])
+		if err != nil {
+			return nil, fmt.Errorf("dtr: bad source in %q: %w", part, err)
+		}
+		dst, err := strconv.Atoi(part[arrow+1 : colon])
+		if err != nil {
+			return nil, fmt.Errorf("dtr: bad destination in %q: %w", part, err)
+		}
+		count, err := strconv.Atoi(part[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("dtr: bad count in %q: %w", part, err)
+		}
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			return nil, fmt.Errorf("dtr: shipment %q references server outside 0..%d", part, n-1)
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("dtr: negative count in %q", part)
+		}
+		p[src][dst] += count
+	}
+	return p, nil
+}
+
+// FormatPolicy renders the non-zero shipments in canonical (row-major)
+// order, the inverse of ParsePolicy. The zero policy renders as
+// "(no reallocation)".
+func FormatPolicy(p Policy) string {
+	var parts []string
+	for i := range p {
+		for j, l := range p[i] {
+			if l > 0 {
+				parts = append(parts, fmt.Sprintf("%d>%d:%d", i, j, l))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "(no reallocation)"
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,36 @@
+// Command httpget is a minimal curl stand-in for scripts on hosts
+// without curl: GET a URL, copy the body to stdout, exit non-zero on
+// transport errors or non-2xx statuses.
+//
+//	go run ./scripts/httpget.go http://127.0.0.1:8080/metrics
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	c := &http.Client{Timeout: 30 * time.Second}
+	resp, err := c.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode/100 != 2 {
+		fmt.Fprintf(os.Stderr, "httpget: HTTP %d\n", resp.StatusCode)
+		os.Exit(1)
+	}
+}

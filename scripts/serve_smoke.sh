@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke test for cmd/dtrserved: boot the daemon on a random port, drive
+# one request per endpoint plus a /metrics scrape, and fail on any
+# non-2xx answer. Used by `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+bin="$workdir/dtrserved"
+addrfile="$workdir/addr"
+logfile="$workdir/daemon.log"
+
+cleanup() {
+    status=$?
+    if [ -n "${srv_pid:-}" ] && kill -0 "$srv_pid" 2>/dev/null; then
+        kill -TERM "$srv_pid" 2>/dev/null || true
+        wait "$srv_pid" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "serve-smoke: FAILED (daemon log below)" >&2
+        cat "$logfile" >&2 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building dtrserved"
+$GO build -o "$bin" ./cmd/dtrserved
+
+"$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" >"$logfile" 2>&1 &
+srv_pid=$!
+
+# Wait for the daemon to publish its bound address (atomic rename).
+i=0
+while [ ! -f "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never published its address" >&2
+        exit 1
+    fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+        echo "serve-smoke: daemon exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "serve-smoke: daemon on $addr"
+
+# One request per endpoint (the example client exits non-zero on any
+# non-2xx, covering optimize/metrics/simulate/bounds/cdf/batch/healthz),
+# then a Prometheus scrape.
+$GO run ./examples/serve -addr "$addr"
+
+scrape="$workdir/metrics"
+if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://$addr/metrics" >"$scrape"
+else
+    $GO run ./scripts/httpget.go "http://$addr/metrics" >"$scrape"
+fi
+grep -q '^dtr_serve_requests_total' "$scrape" || {
+    echo "serve-smoke: /metrics scrape missing dtr_serve_requests_total" >&2
+    exit 1
+}
+grep -q '^dtr_serve_cache_hits_total' "$scrape" || {
+    echo "serve-smoke: /metrics scrape missing dtr_serve_cache_hits_total" >&2
+    exit 1
+}
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$srv_pid"
+if ! wait "$srv_pid"; then
+    echo "serve-smoke: daemon did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+srv_pid=""
+echo "serve-smoke: OK"
