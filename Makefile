@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-policy serve-smoke clean
+.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke clean
 
 all: build vet test
 
@@ -19,12 +19,17 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./dist/fit
 
 # Boot dtrserved on a random port, drive every endpoint plus a /metrics
 # scrape, and verify a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Close the loop end to end: capture a drifting trace with the example,
+# batch-refit it with dtradapt, round-trip the spec through dtrplan.
+adapt-smoke:
+	sh scripts/adapt_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

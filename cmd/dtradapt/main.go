@@ -1,0 +1,293 @@
+// Command dtradapt is the adaptation controller: it reads a delay trace
+// captured by the simulator or testbed (internal/trace), fits the delay
+// laws per channel with censoring-aware maximum likelihood (dist/fit),
+// and re-solves the reallocation policy when the observed statistics
+// drift from the model the current policy was planned against
+// (internal/adapt).
+//
+//	dtradapt -trace run.jsonl -queues 50,25 -once
+//	dtradapt -trace run.jsonl -queues 50,25 -follow
+//	dtradapt -trace run.jsonl -queues 50,25 -once -server http://127.0.0.1:8080
+//
+// -once ingests the whole trace, fits, replans once and prints the
+// decision as JSON. -follow tails the trace like `tail -f`, bootstraps
+// a model as soon as every channel has enough observations, and then
+// emits one JSON decision line per detected drift until interrupted.
+// With -server, fitting and planning go through a dtrserved instance
+// (POST /v1/fit and /v1/optimize); otherwise both run in-process.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dtr/dist/fit"
+	"dtr/internal/adapt"
+	"dtr/internal/obs"
+	"dtr/internal/par"
+	"dtr/internal/trace"
+)
+
+// errUsage marks flag/configuration errors: the audited CLI convention
+// is usage on stderr and exit status 2 for those, 1 for runtime errors
+// and 0 for -h/-help.
+var errUsage = errors.New("usage error")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "dtradapt: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtradapt", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "JSONL trace to read (required)")
+	queuesFlag := fs.String("queues", "", "initial allocation, comma-separated, e.g. 50,25 (required)")
+	objective := fs.String("objective", "mean", "replanning objective: mean, qos or reliability")
+	deadline := fs.Float64("deadline", 0, "QoS deadline (required with -objective qos)")
+	once := fs.Bool("once", false, "ingest the whole trace, fit and replan once, print the decision")
+	follow := fs.Bool("follow", false, "tail the trace and emit a decision on bootstrap and every drift")
+	server := fs.String("server", "", "dtrserved base URL; fits and plans go through /v1/fit and /v1/optimize")
+	window := fs.Int("window", 8192, "sliding window size in events")
+	minObs := fs.Int("min-obs", fit.DefaultMinObs, "exact observations a channel needs before its fit is trusted")
+	checkEvery := fs.Int("check-every", 256, "events between drift checks (with -follow)")
+	driftKS := fs.Float64("drift-ks", 0.15, "KS-distance drift threshold")
+	driftMean := fs.Float64("drift-relmean", 0.25, "relative mean-shift drift threshold")
+	familiesFlag := fs.String("families", "", "comma-separated candidate families (default: all)")
+	gridN := fs.Int("grid", 8192, "lattice points for the in-process solver")
+	poll := fs.Duration("poll", 500*time.Millisecond, "tail poll interval (with -follow)")
+	specOut := fs.String("spec-out", "", "write the latest fitted spec JSON to this file (atomic)")
+	policyOut := fs.String("policy-out", "", "write the latest policy string to this file (atomic)")
+	workers := par.BindFlag(fs)
+	obsCfg := obs.BindFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtradapt -trace run.jsonl -queues 50,25 <-once|-follow> [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: unexpected argument %q", errUsage, fs.Arg(0))
+	}
+	if err := workers.Validate(); err != nil {
+		fs.Usage()
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *tracePath == "" || *queuesFlag == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: -trace and -queues are required", errUsage)
+	}
+	if *once == *follow {
+		fs.Usage()
+		return fmt.Errorf("%w: exactly one of -once or -follow", errUsage)
+	}
+	queues, err := parseQueues(*queuesFlag)
+	if err != nil {
+		fs.Usage()
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	var fams []fit.Family
+	if *familiesFlag != "" {
+		fams, err = fit.ParseFamilies(strings.Split(*familiesFlag, ","))
+		if err != nil {
+			fs.Usage()
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+	}
+
+	cfg := adapt.Config{
+		Queues: queues, Objective: *objective, Deadline: *deadline,
+		Window: *window, MinObs: *minObs, CheckEvery: *checkEvery,
+		DriftKS: *driftKS, DriftRelMean: *driftMean,
+		Families: fams, GridN: *gridN, Workers: workers.N,
+	}
+	if *server != "" {
+		cfg.Planner = &adapt.HTTP{BaseURL: strings.TrimRight(*server, "/"),
+			Objective: *objective, Deadline: *deadline}
+	}
+	if *once {
+		// Batch mode never drift-checks mid-ingest; one forced refit at
+		// the end does all the work.
+		cfg.CheckEvery = 1 << 30
+	}
+	ctrl, err := adapt.New(cfg)
+	if err != nil {
+		fs.Usage()
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if err := obsCfg.Start(); err != nil {
+		return err
+	}
+	sink := &decisionSink{out: out, specOut: *specOut, policyOut: *policyOut}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if *once {
+		err = runOnce(ctx, ctrl, *tracePath, sink)
+	} else {
+		err = runFollow(ctx, ctrl, *tracePath, *poll, sink)
+	}
+	if oerr := obsCfg.Stop(); oerr != nil && err == nil {
+		err = oerr
+	}
+	return err
+}
+
+// parseQueues parses "50,25" into a non-negative allocation.
+func parseQueues(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || q < 0 {
+			return nil, fmt.Errorf("-queues: %q is not a non-negative integer", part)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// decisionSink renders decisions: JSON on out, plus optional atomic
+// spec/policy files for scripts.
+type decisionSink struct {
+	out                io.Writer
+	specOut, policyOut string
+}
+
+// emit writes one decision. indent selects pretty (batch) vs line
+// (follow) rendering.
+func (s *decisionSink) emit(d *adapt.Decision, indent bool) error {
+	var b []byte
+	var err error
+	if indent {
+		b, err = json.MarshalIndent(d, "", "  ")
+	} else {
+		b, err = json.Marshal(d)
+	}
+	if err != nil {
+		return fmt.Errorf("encode decision: %w", err)
+	}
+	if _, err := fmt.Fprintln(s.out, string(b)); err != nil {
+		return err
+	}
+	if s.specOut != "" {
+		spec, err := json.MarshalIndent(d.Spec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode spec: %w", err)
+		}
+		if err := atomicWrite(s.specOut, append(spec, '\n')); err != nil {
+			return err
+		}
+	}
+	if s.policyOut != "" {
+		if err := atomicWrite(s.policyOut, []byte(d.PolicyString+"\n")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// atomicWrite publishes data at path via temp-file + rename so readers
+// never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runOnce ingests the whole trace and performs one forced fit + replan.
+func runOnce(ctx context.Context, ctrl *adapt.Controller, path string, sink *decisionSink) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if _, err := ctrl.Observe(ctx, ev); err != nil {
+			return err
+		}
+	}
+	d, err := ctrl.Refit(ctx)
+	if err != nil {
+		return err
+	}
+	return sink.emit(d, true)
+}
+
+// runFollow tails the trace until the context is cancelled, feeding
+// complete lines to the controller and emitting every decision.
+func runFollow(ctx context.Context, ctrl *adapt.Controller, path string, poll time.Duration, sink *decisionSink) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var pending []byte
+	line := 0
+	for {
+		chunk, err := r.ReadBytes('\n')
+		pending = append(pending, chunk...)
+		switch {
+		case err == nil:
+			line++
+			text := strings.TrimSpace(string(pending))
+			pending = pending[:0]
+			if text == "" {
+				continue
+			}
+			var ev trace.Event
+			if jerr := json.Unmarshal([]byte(text), &ev); jerr != nil {
+				return fmt.Errorf("%s:%d: %v", path, line, jerr)
+			}
+			d, oerr := ctrl.Observe(ctx, ev)
+			if oerr != nil {
+				// A fit that cannot converge on this window is transient:
+				// log and keep tailing. Malformed events are fatal.
+				fmt.Fprintf(os.Stderr, "dtradapt: %s:%d: %v\n", path, line, oerr)
+				continue
+			}
+			if d != nil {
+				if eerr := sink.emit(d, false); eerr != nil {
+					return eerr
+				}
+			}
+		case errors.Is(err, io.EOF):
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+		default:
+			return err
+		}
+	}
+}

@@ -13,14 +13,16 @@
 //	/v1/bounds    batch-arrival metric bounds
 //	/v1/cdf       completion-time distribution curve
 //	/v1/batch     fan-out of the above in one call
-//	/healthz      liveness probe (GET)
+//	/v1/fit       fit a modelspec document to captured trace events
+//	/healthz      readiness probe (GET; 503 once draining)
 //
 // Telemetry rides on the same listener: /metrics (Prometheus text),
 // /metrics.json, /debug/vars and — with -pprof — /debug/pprof/.
 //
-// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
-// requests run to completion (bounded by -drain-timeout), then the
-// process exits 0.
+// SIGTERM/SIGINT drain gracefully: /healthz flips to 503 so load
+// balancers stop routing here, the listener closes, in-flight requests
+// run to completion (bounded by -drain-timeout), then the process
+// exits 0.
 package main
 
 import (
@@ -135,6 +137,9 @@ func run(args []string) error {
 	obs.Logger().Info("dtrserved up", "addr", bound, "workers", par.Workers(workers.N))
 
 	srv := &http.Server{Handler: mux}
+	// The instant Shutdown begins, /healthz reports draining so load
+	// balancers pull this instance before its listener disappears.
+	srv.RegisterOnShutdown(svc.StartDrain)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

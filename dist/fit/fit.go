@@ -1,0 +1,425 @@
+// Package fit estimates the repo's distribution families from measured
+// delay samples by maximum likelihood, including *right-censored*
+// observations — tasks still in service or servers still alive when the
+// capture ended, whose recorded values are lower bounds. It is the
+// statistics pipeline behind the paper's testbed characterization
+// (§III-B): raw measurements in, a fitted law per delay channel out,
+// assembled into a complete modelspec document the solvers can consume.
+//
+// Families: exponential, gamma, shifted-gamma, Pareto, lognormal and
+// the balanced two-phase hyperexponential — every family the modelspec
+// layer can round-trip. Fitters with no closed-form censored MLE
+// (gamma, shifted-gamma, lognormal, hyperexponential) maximize the
+// censored log-likelihood numerically with a Nelder–Mead simplex in a
+// log-transformed parameter space; exponential and Pareto censored MLEs
+// are closed-form.
+//
+// Model selection ranks admissible fits by AIC and breaks near-ties
+// (ΔAIC ≤ 2) by Kolmogorov–Smirnov distance on the uncensored part of
+// the sample; see Select.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/dist"
+	"dtr/internal/stat"
+)
+
+// Sample is a partially right-censored sample: Obs holds exact
+// observations, Cens holds lower bounds (the underlying time exceeded
+// the recorded value when the capture ended).
+type Sample struct {
+	Obs  []float64
+	Cens []float64
+}
+
+// N returns the total number of observations, censored included.
+func (s Sample) N() int { return len(s.Obs) + len(s.Cens) }
+
+// CensoredFrac returns the censored fraction of the sample.
+func (s Sample) CensoredFrac() float64 {
+	if s.N() == 0 {
+		return 0
+	}
+	return float64(len(s.Cens)) / float64(s.N())
+}
+
+// check validates the sample for fitting: exact observations must be
+// positive and finite, censoring bounds non-negative and finite.
+func (s Sample) check() error {
+	for _, x := range s.Obs {
+		if !(x > 0) || math.IsInf(x, 0) {
+			return fmt.Errorf("fit: observations must be positive and finite, got %g", x)
+		}
+	}
+	for _, c := range s.Cens {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("fit: censoring bounds must be non-negative and finite, got %g", c)
+		}
+	}
+	return nil
+}
+
+// LogLik returns the censored log-likelihood of the sample under d:
+// Σ log f(x) over exact observations plus Σ log S(c) over censored
+// ones, or −Inf if any observation has zero density (or a censoring
+// bound zero survival) under d.
+func LogLik(d dist.Dist, s Sample) float64 {
+	var ll float64
+	for _, x := range s.Obs {
+		p := d.PDF(x)
+		if !(p > 0) || math.IsInf(p, 1) {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	for _, c := range s.Cens {
+		sv := d.Survival(c)
+		if !(sv > 0) {
+			return math.Inf(-1)
+		}
+		ll += math.Log(sv)
+	}
+	return ll
+}
+
+// sum returns Σ xs.
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// minObs returns the smallest exact observation.
+func minObs(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Exponential returns the censored MLE exponential fit: the classic
+// events-over-exposure estimator rate = n_obs / (Σ obs + Σ cens). This
+// is the estimator a reliability monitor uses for failure channels,
+// where most realizations end with the server still alive.
+func Exponential(s Sample) (dist.Exponential, error) {
+	if err := s.check(); err != nil {
+		return dist.Exponential{}, err
+	}
+	if len(s.Obs) == 0 {
+		return dist.Exponential{}, fmt.Errorf("fit: exponential fit needs at least one exact observation")
+	}
+	exposure := sum(s.Obs) + sum(s.Cens)
+	if !(exposure > 0) {
+		return dist.Exponential{}, fmt.Errorf("fit: degenerate exposure %g", exposure)
+	}
+	return dist.Exponential{Rate: float64(len(s.Obs)) / exposure}, nil
+}
+
+// Pareto returns the censored MLE Pareto fit: x_m is the smallest exact
+// observation and
+//
+//	alpha = n_obs / (Σ_obs log(x/x_m) + Σ_cens log(max(c, x_m)/x_m)).
+//
+// Censored values below x_m carry no information (survival is 1 there).
+func Pareto(s Sample) (dist.Pareto, error) {
+	if err := s.check(); err != nil {
+		return dist.Pareto{}, err
+	}
+	if len(s.Obs) < 2 {
+		return dist.Pareto{}, fmt.Errorf("fit: Pareto fit needs >= 2 exact observations")
+	}
+	xm := minObs(s.Obs)
+	var t float64
+	for _, x := range s.Obs {
+		t += math.Log(x / xm)
+	}
+	for _, c := range s.Cens {
+		if c > xm {
+			t += math.Log(c / xm)
+		}
+	}
+	if !(t > 0) {
+		return dist.Pareto{}, fmt.Errorf("fit: degenerate sample for Pareto fit")
+	}
+	return dist.Pareto{Xm: xm, Alpha: float64(len(s.Obs)) / t}, nil
+}
+
+// Gamma returns the censored MLE gamma fit: the uncensored-part MLE (or
+// a moment estimate) seeds a Nelder–Mead maximization of the censored
+// log-likelihood over (log shape, log rate).
+func Gamma(s Sample) (dist.Gamma, error) {
+	if err := s.check(); err != nil {
+		return dist.Gamma{}, err
+	}
+	if len(s.Obs) < 2 {
+		return dist.Gamma{}, fmt.Errorf("fit: gamma fit needs >= 2 exact observations")
+	}
+	k0, rate0 := gammaInit(s.Obs)
+	if len(s.Cens) == 0 {
+		// Uncensored: the Newton MLE from the init is already optimal.
+		if g, err := stat.FitGamma(s.Obs); err == nil {
+			return g.(dist.Gamma), nil
+		}
+	}
+	return censoredGamma(s, k0, rate0)
+}
+
+// gammaInit returns a moment-based (shape, rate) starting point.
+func gammaInit(obs []float64) (k, rate float64) {
+	m := stat.Mean(obs)
+	v := stat.Var(obs)
+	if !(m > 0) {
+		return 1, 1
+	}
+	if !(v > 0) {
+		return 1, 1 / m
+	}
+	k = m * m / v
+	if k < 0.05 {
+		k = 0.05
+	}
+	if k > 1e4 {
+		k = 1e4
+	}
+	return k, k / m
+}
+
+// censoredGamma maximizes the censored gamma likelihood from the given
+// starting point.
+func censoredGamma(s Sample, k0, rate0 float64) (dist.Gamma, error) {
+	theta := nelderMead(func(th []float64) float64 {
+		g := dist.Gamma{K: clampExp(th[0]), Rate: clampExp(th[1])}
+		return -LogLik(g, s)
+	}, []float64{math.Log(k0), math.Log(rate0)}, 0.3, 400)
+	g := dist.Gamma{K: clampExp(theta[0]), Rate: clampExp(theta[1])}
+	if math.IsInf(LogLik(g, s), -1) {
+		return dist.Gamma{}, fmt.Errorf("fit: censored gamma fit did not converge")
+	}
+	return g, nil
+}
+
+// ShiftedGamma returns the censored MLE three-parameter gamma fit
+// (shift, shape, rate) by profiling the shift: candidate shifts scan
+// [0, min obs) — coarsely, then refined around the best candidate —
+// and each candidate's (shape, rate) comes from the censored gamma MLE
+// of the shifted residuals. This mirrors the paper's testbed pipeline,
+// which fitted shifted-gamma laws to transfer-time histograms.
+func ShiftedGamma(s Sample) (dist.ShiftedGamma, error) {
+	if err := s.check(); err != nil {
+		return dist.ShiftedGamma{}, err
+	}
+	if len(s.Obs) < 4 {
+		return dist.ShiftedGamma{}, fmt.Errorf("fit: shifted-gamma fit needs >= 4 exact observations")
+	}
+	lo := minObs(s.Obs)
+
+	bestLL := math.Inf(-1)
+	var best dist.ShiftedGamma
+	found := false
+	try := func(shift float64) {
+		res := Sample{Obs: make([]float64, 0, len(s.Obs)), Cens: make([]float64, 0, len(s.Cens))}
+		for _, x := range s.Obs {
+			r := x - shift
+			if r <= 0 {
+				return
+			}
+			res.Obs = append(res.Obs, r)
+		}
+		for _, c := range s.Cens {
+			// Censored below the shift carries no information: S(c) = 1.
+			if r := c - shift; r > 0 {
+				res.Cens = append(res.Cens, r)
+			}
+		}
+		k0, rate0 := gammaInit(res.Obs)
+		g, err := censoredGamma(res, k0, rate0)
+		if err != nil {
+			return
+		}
+		cand := dist.ShiftedGamma{Shift: shift, G: g}
+		if ll := LogLik(cand, s); ll > bestLL {
+			bestLL, best, found = ll, cand, true
+		}
+	}
+
+	// Coarse profile over [0, lo), then refine one coarse cell around
+	// the winner. The displacement MLE is typically near the sample
+	// minimum but the profile can be multimodal, so scan, don't descend.
+	const coarse = 24
+	for i := 0; i <= coarse; i++ {
+		try(lo * (float64(i) / float64(coarse+1)))
+	}
+	if found {
+		center := best.Shift
+		step := lo / float64(coarse+1)
+		for i := -4; i <= 4; i++ {
+			sh := center + float64(i)*step/5
+			if sh >= 0 && sh < lo {
+				try(sh)
+			}
+		}
+	}
+	if !found {
+		return dist.ShiftedGamma{}, fmt.Errorf("fit: no admissible shifted-gamma fit")
+	}
+	return best, nil
+}
+
+// LogNormal returns the censored MLE lognormal fit: log-moment init,
+// Nelder–Mead over (mu, log sigma).
+func LogNormal(s Sample) (dist.LogNormal, error) {
+	if err := s.check(); err != nil {
+		return dist.LogNormal{}, err
+	}
+	if len(s.Obs) < 2 {
+		return dist.LogNormal{}, fmt.Errorf("fit: lognormal fit needs >= 2 exact observations")
+	}
+	logs := make([]float64, len(s.Obs))
+	for i, x := range s.Obs {
+		logs[i] = math.Log(x)
+	}
+	mu0 := stat.Mean(logs)
+	sigma0 := stat.StdDev(logs)
+	if !(sigma0 > 0.05) {
+		sigma0 = 0.05
+	}
+	theta := nelderMead(func(th []float64) float64 {
+		d := dist.LogNormal{Mu: th[0], Sigma: clampExp(th[1])}
+		return -LogLik(d, s)
+	}, []float64{mu0, math.Log(sigma0)}, 0.3, 400)
+	d := dist.LogNormal{Mu: theta[0], Sigma: clampExp(theta[1])}
+	if math.IsInf(LogLik(d, s), -1) {
+		return dist.LogNormal{}, fmt.Errorf("fit: censored lognormal fit did not converge")
+	}
+	return d, nil
+}
+
+// HyperExp returns the censored MLE balanced two-phase hyperexponential
+// fit, parameterized — like the modelspec family — by (mean, scv) with
+// scv > 1: moment init, Nelder–Mead over (log mean, log(scv−1)).
+func HyperExp(s Sample) (dist.HyperExponential, error) {
+	if err := s.check(); err != nil {
+		return dist.HyperExponential{}, err
+	}
+	if len(s.Obs) < 4 {
+		return dist.HyperExponential{}, fmt.Errorf("fit: hyperexponential fit needs >= 4 exact observations")
+	}
+	m0 := stat.Mean(s.Obs)
+	scv0 := stat.Var(s.Obs) / (m0 * m0)
+	if !(scv0 > 1.2) {
+		scv0 = 1.2
+	}
+	if scv0 > 500 {
+		scv0 = 500
+	}
+	build := func(th []float64) dist.HyperExponential {
+		mean := clampExp(th[0])
+		scv := 1 + clampExp(th[1])
+		if scv > 1e3 {
+			scv = 1e3
+		}
+		return dist.NewHyperExponential2(mean, scv)
+	}
+	theta := nelderMead(func(th []float64) float64 {
+		return -LogLik(build(th), s)
+	}, []float64{math.Log(m0), math.Log(scv0 - 1)}, 0.3, 400)
+	d := build(theta)
+	if math.IsInf(LogLik(d, s), -1) {
+		return dist.HyperExponential{}, fmt.Errorf("fit: censored hyperexponential fit did not converge")
+	}
+	return d, nil
+}
+
+// clampExp exponentiates with overflow/underflow clamping so simplex
+// excursions cannot produce zero or infinite parameters.
+func clampExp(x float64) float64 {
+	if x > 300 {
+		x = 300
+	}
+	if x < -300 {
+		x = -300
+	}
+	return math.Exp(x)
+}
+
+// nelderMead minimizes f from x0 with the standard simplex moves
+// (reflect, expand, contract, shrink). scale sizes the initial simplex;
+// the search stops after iters iterations or when the simplex collapses.
+func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters int) []float64 {
+	d := len(x0)
+	pts := make([][]float64, d+1)
+	vals := make([]float64, d+1)
+	for i := range pts {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			p[i-1] += scale
+		}
+		pts[i] = p
+		vals[i] = f(p)
+	}
+	const alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+	order := func() {
+		// Insertion sort: d+1 is tiny.
+		for i := 1; i <= d; i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		order()
+		if spread := vals[d] - vals[0]; spread < 1e-10*(1+math.Abs(vals[0])) {
+			break
+		}
+		// Centroid of all but the worst.
+		c := make([]float64, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				c[j] += pts[i][j] / float64(d)
+			}
+		}
+		at := func(t float64) []float64 {
+			p := make([]float64, d)
+			for j := 0; j < d; j++ {
+				p[j] = c[j] + t*(c[j]-pts[d][j])
+			}
+			return p
+		}
+		refl := at(alpha)
+		fr := f(refl)
+		switch {
+		case fr < vals[0]:
+			exp := at(gamma)
+			if fe := f(exp); fe < fr {
+				pts[d], vals[d] = exp, fe
+			} else {
+				pts[d], vals[d] = refl, fr
+			}
+		case fr < vals[d-1]:
+			pts[d], vals[d] = refl, fr
+		default:
+			contr := at(-rho)
+			if fc := f(contr); fc < vals[d] {
+				pts[d], vals[d] = contr, fc
+			} else {
+				for i := 1; i <= d; i++ {
+					for j := 0; j < d; j++ {
+						pts[i][j] = pts[0][j] + sigma*(pts[i][j]-pts[0][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	return pts[0]
+}

@@ -1,0 +1,202 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtr/dist"
+	"dtr/internal/stat"
+	"dtr/modelspec"
+)
+
+// Family names a fittable distribution family. The values are exactly
+// the modelspec type strings, so a selected family round-trips into a
+// spec document without translation.
+type Family string
+
+const (
+	FamilyExponential Family = "exponential"
+	FamilyGamma       Family = "gamma"
+	FamilyShiftedGam  Family = "shifted-gamma"
+	FamilyPareto      Family = "pareto"
+	FamilyLogNormal   Family = "lognormal"
+	FamilyHyperExp    Family = "hyperexponential"
+)
+
+// Families returns every fittable family, in selection order.
+func Families() []Family {
+	return []Family{
+		FamilyExponential, FamilyGamma, FamilyShiftedGam,
+		FamilyPareto, FamilyLogNormal, FamilyHyperExp,
+	}
+}
+
+// ParseFamilies converts family names (modelspec type strings) into
+// Family values, rejecting unknown names.
+func ParseFamilies(names []string) ([]Family, error) {
+	var out []Family
+	for _, n := range names {
+		found := false
+		for _, f := range Families() {
+			if string(f) == n {
+				out = append(out, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fit: unknown family %q", n)
+		}
+	}
+	return out, nil
+}
+
+// params returns the number of free parameters the family fits.
+func (f Family) params() int {
+	switch f {
+	case FamilyExponential:
+		return 1
+	case FamilyShiftedGam:
+		return 3
+	default: // gamma, pareto, lognormal, hyperexponential(mean, scv)
+		return 2
+	}
+}
+
+// Result is one family's fit to a sample with its selection scores.
+type Result struct {
+	Family Family
+	Dist   dist.Dist
+	// LogLik is the maximized censored log-likelihood.
+	LogLik float64
+	// AIC is 2k − 2·LogLik (lower is better), with k the number of
+	// fitted parameters.
+	AIC float64
+	// KS is the Kolmogorov–Smirnov distance between the fitted CDF and
+	// the empirical CDF of the *uncensored* part of the sample.
+	KS float64
+	// Params is the number of fitted parameters.
+	Params int
+}
+
+// Fit fits one family to a censored sample.
+func Fit(f Family, s Sample) (Result, error) {
+	var d dist.Dist
+	var err error
+	switch f {
+	case FamilyExponential:
+		d, err = Exponential(s)
+	case FamilyGamma:
+		d, err = Gamma(s)
+	case FamilyShiftedGam:
+		d, err = ShiftedGamma(s)
+	case FamilyPareto:
+		d, err = Pareto(s)
+	case FamilyLogNormal:
+		d, err = LogNormal(s)
+	case FamilyHyperExp:
+		d, err = HyperExp(s)
+	default:
+		return Result{}, fmt.Errorf("fit: unknown family %q", f)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	ll := LogLik(d, s)
+	if math.IsInf(ll, -1) || math.IsNaN(ll) {
+		return Result{}, fmt.Errorf("fit: %s fit has degenerate likelihood", f)
+	}
+	k := f.params()
+	return Result{
+		Family: f,
+		Dist:   d,
+		LogLik: ll,
+		AIC:    2*float64(k) - 2*ll,
+		KS:     stat.KSDistance(s.Obs, d.CDF),
+		Params: k,
+	}, nil
+}
+
+// All fits every requested family (all of them when fams is nil) and
+// returns the successful fits sorted by ascending AIC. Families that
+// cannot fit the sample are silently skipped; the result may be empty.
+func All(s Sample, fams []Family) []Result {
+	if fams == nil {
+		fams = Families()
+	}
+	var out []Result
+	for _, f := range fams {
+		if r, err := Fit(f, s); err == nil {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AIC < out[j].AIC })
+	return out
+}
+
+// Select fits the requested families (all of them when fams is nil) and
+// picks the winner: lowest AIC, with near-ties (ΔAIC ≤ 2, the standard
+// "substantial support" band) broken by the smaller KS distance on the
+// uncensored part of the sample. AIC alone cannot distinguish models
+// within that band, and for planning purposes the law that tracks the
+// empirical CDF most closely is the safer choice.
+func Select(s Sample, fams []Family) (Result, error) {
+	all := All(s, fams)
+	if len(all) == 0 {
+		return Result{}, fmt.Errorf("fit: no family admits a fit (n=%d, censored=%d)", s.N(), len(s.Cens))
+	}
+	best := all[0]
+	for _, r := range all[1:] {
+		if r.AIC-all[0].AIC <= 2 && r.KS < best.KS {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// SpecFor converts a fitted distribution into the equivalent modelspec
+// DistSpec. It navigates the spec layer's zero-means-default rules: a
+// shifted gamma whose shift collapsed to (essentially) zero is emitted
+// as a plain gamma, because shiftFrac 0 would be re-read as the default
+// 0.5. A Pareto with α ≤ 1 has no finite mean and is inexpressible in
+// the mean-parameterized spec; that is an error.
+func SpecFor(d dist.Dist) (modelspec.DistSpec, error) {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return modelspec.DistSpec{Type: "exponential", Mean: v.Mean()}, nil
+	case dist.Gamma:
+		return modelspec.DistSpec{Type: "gamma", Mean: v.Mean(), Shape: v.K}, nil
+	case dist.ShiftedGamma:
+		mean := v.Mean()
+		if !(mean > 0) {
+			return modelspec.DistSpec{}, fmt.Errorf("fit: shifted-gamma spec needs positive mean, got %g", mean)
+		}
+		frac := v.Shift / mean
+		if frac < 1e-9 {
+			// Genuinely unshifted: emit plain gamma (shiftFrac 0 would be
+			// re-read as the 0.5 default).
+			return modelspec.DistSpec{Type: "gamma", Mean: v.G.Mean(), Shape: v.G.K}, nil
+		}
+		return modelspec.DistSpec{Type: "shifted-gamma", Mean: mean, Shape: v.G.K, ShiftFrac: frac}, nil
+	case dist.Pareto:
+		if v.Alpha <= 1 {
+			return modelspec.DistSpec{}, fmt.Errorf("fit: Pareto alpha %.4g <= 1 has no finite mean and cannot be expressed in a mean-parameterized spec", v.Alpha)
+		}
+		return modelspec.DistSpec{Type: "pareto", Mean: v.Mean(), Alpha: v.Alpha}, nil
+	case dist.LogNormal:
+		return modelspec.DistSpec{Type: "lognormal", Mean: v.Mean(), Sigma: v.Sigma}, nil
+	case dist.HyperExponential:
+		mean := v.Mean()
+		if !(mean > 0) {
+			return modelspec.DistSpec{}, fmt.Errorf("fit: hyperexponential spec needs positive mean, got %g", mean)
+		}
+		scv := v.Var() / (mean * mean)
+		if !(scv > 1) {
+			return modelspec.DistSpec{}, fmt.Errorf("fit: hyperexponential scv %.4g must exceed 1", scv)
+		}
+		return modelspec.DistSpec{Type: "hyperexponential", Mean: mean, Scv: scv}, nil
+	default:
+		return modelspec.DistSpec{}, fmt.Errorf("fit: no spec mapping for %T", d)
+	}
+}

@@ -1,0 +1,227 @@
+package fit
+
+import (
+	"fmt"
+
+	"dtr/internal/trace"
+	"dtr/modelspec"
+)
+
+// Samples holds the per-channel censored samples extracted from a trace:
+// one service and one failure sample per server, plus the pooled
+// per-task transfer sample and the failure-notice sample.
+type Samples struct {
+	Servers  int
+	Service  []Sample
+	Failure  []Sample
+	Transfer Sample
+	FN       Sample
+}
+
+// Collect groups trace events into per-channel samples. Transfer values
+// are normalized per task (value / group size): every family the spec
+// layer scales by group size is scale-closed, so per-task-normalized
+// draws pooled across group sizes are i.i.d. from the per-task law.
+// Censored transfers normalize the same way — the per-task time exceeded
+// bound/size. Events are re-validated, so Collect accepts streams
+// assembled programmatically, not only ones that passed a Reader.
+func Collect(evs []trace.Event) (*Samples, error) {
+	sm := &Samples{}
+	grow := func(n int) {
+		for len(sm.Service) < n {
+			sm.Service = append(sm.Service, Sample{})
+			sm.Failure = append(sm.Failure, Sample{})
+		}
+		if n > sm.Servers {
+			sm.Servers = n
+		}
+	}
+	add := func(s *Sample, value float64, censored bool) {
+		if censored {
+			s.Cens = append(s.Cens, value)
+		} else {
+			s.Obs = append(s.Obs, value)
+		}
+	}
+	for i, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("fit: event %d: %w", i, err)
+		}
+		switch ev.Kind {
+		case trace.KindMeta:
+			grow(ev.Servers)
+		case trace.KindService:
+			grow(ev.Server + 1)
+			add(&sm.Service[ev.Server], ev.Value, ev.Censored)
+		case trace.KindFailure:
+			grow(ev.Server + 1)
+			add(&sm.Failure[ev.Server], ev.Value, ev.Censored)
+		case trace.KindTransfer:
+			grow(max(ev.Src, ev.Dst) + 1)
+			add(&sm.Transfer, ev.Value/float64(ev.Tasks), ev.Censored)
+		case trace.KindFN:
+			grow(max(ev.Src, ev.Dst) + 1)
+			add(&sm.FN, ev.Value, ev.Censored)
+		}
+	}
+	return sm, nil
+}
+
+// Config parameterizes Spec: the initial allocation to record (one
+// queue per server, required), the candidate families per channel, and
+// the minimum number of exact observations a channel needs before its
+// fit is trusted.
+type Config struct {
+	// Queues is the initial allocation recorded in the spec document;
+	// its length must match the number of servers seen in the trace.
+	Queues []int
+	// Families are the candidate service/transfer/fn families; nil
+	// means all fittable families.
+	Families []Family
+	// MinObs is the minimum number of exact (uncensored) observations a
+	// service or transfer channel must have; 0 means DefaultMinObs.
+	// Failure channels below the threshold are treated as reliable
+	// rather than failing the whole fit.
+	MinObs int
+}
+
+// DefaultMinObs is the default minimum number of exact observations per
+// fitted channel.
+const DefaultMinObs = 20
+
+// ChannelFit reports one channel's selected fit, JSON-ready for CLI and
+// HTTP responses.
+type ChannelFit struct {
+	// Channel names the delay channel: "service[i]", "failure[i]",
+	// "transfer" or "fn".
+	Channel string `json:"channel"`
+	// Family is the selected family (a modelspec type string).
+	Family Family `json:"family"`
+	// Dist is the fitted law, human-readable.
+	Dist string `json:"dist"`
+	// Mean is the fitted law's mean (for transfer/fn: per task).
+	Mean float64 `json:"mean"`
+	// N and Censored count the sample: total observations and how many
+	// were right-censored.
+	N        int `json:"n"`
+	Censored int `json:"censored"`
+	// LogLik, AIC and KS are the selection scores (KS is computed on
+	// the uncensored part of the sample).
+	LogLik float64 `json:"logLik"`
+	AIC    float64 `json:"aic"`
+	KS     float64 `json:"ks"`
+}
+
+// Report collects the per-channel fits behind a spec.
+type Report struct {
+	Servers int          `json:"servers"`
+	Fits    []ChannelFit `json:"fits"`
+}
+
+// Spec fits every delay channel of a trace and assembles a complete,
+// validated modelspec document: per-server service laws, per-server
+// failure laws (exponential, the only family whose censored MLE is
+// trustworthy in the heavily-censored regime failure channels live in;
+// servers with no observed failure are emitted reliable), the per-task
+// group-transfer law, and the failure-notice law when the trace carries
+// one.
+func Spec(evs []trace.Event, cfg Config) (*modelspec.SystemSpec, *Report, error) {
+	sm, err := Collect(evs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sm.Spec(cfg)
+}
+
+// Spec assembles the fitted modelspec document from already-collected
+// samples; see the package-level Spec.
+func (sm *Samples) Spec(cfg Config) (*modelspec.SystemSpec, *Report, error) {
+	if sm.Servers == 0 {
+		return nil, nil, fmt.Errorf("fit: trace contains no servers")
+	}
+	if len(cfg.Queues) != sm.Servers {
+		return nil, nil, fmt.Errorf("fit: %d queues for a %d-server trace", len(cfg.Queues), sm.Servers)
+	}
+	minObs := cfg.MinObs
+	if minObs <= 0 {
+		minObs = DefaultMinObs
+	}
+	report := &Report{Servers: sm.Servers}
+	record := func(channel string, s Sample, r Result) {
+		report.Fits = append(report.Fits, ChannelFit{
+			Channel: channel, Family: r.Family, Dist: r.Dist.String(),
+			Mean: r.Dist.Mean(), N: s.N(), Censored: len(s.Cens),
+			LogLik: r.LogLik, AIC: r.AIC, KS: r.KS,
+		})
+	}
+
+	spec := &modelspec.SystemSpec{}
+	for i := 0; i < sm.Servers; i++ {
+		ss := sm.Service[i]
+		if len(ss.Obs) < minObs {
+			return nil, nil, fmt.Errorf("fit: service[%d] has %d exact observations, need >= %d", i, len(ss.Obs), minObs)
+		}
+		r, err := Select(ss, cfg.Families)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit: service[%d]: %w", i, err)
+		}
+		ds, err := SpecFor(r.Dist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit: service[%d]: %w", i, err)
+		}
+		record(fmt.Sprintf("service[%d]", i), ss, r)
+
+		srv := modelspec.ServerSpec{Queue: cfg.Queues[i], Service: ds}
+		// Failure channel: exponential only. With most realizations
+		// ending in a still-alive server the sample is censoring-heavy,
+		// where the events-over-exposure MLE remains consistent but
+		// multi-parameter likelihoods are not identifiable. No observed
+		// failure at all means the channel looks reliable.
+		fs := sm.Failure[i]
+		if len(fs.Obs) > 0 {
+			fr, err := Fit(FamilyExponential, fs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fit: failure[%d]: %w", i, err)
+			}
+			fds, err := SpecFor(fr.Dist)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fit: failure[%d]: %w", i, err)
+			}
+			srv.Failure = &fds
+			record(fmt.Sprintf("failure[%d]", i), fs, fr)
+		}
+		spec.Servers = append(spec.Servers, srv)
+	}
+
+	if len(sm.Transfer.Obs) < minObs {
+		return nil, nil, fmt.Errorf("fit: transfer has %d exact observations, need >= %d", len(sm.Transfer.Obs), minObs)
+	}
+	tr, err := Select(sm.Transfer, cfg.Families)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fit: transfer: %w", err)
+	}
+	tds, err := SpecFor(tr.Dist)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fit: transfer: %w", err)
+	}
+	spec.Transfer = modelspec.TransferSpec{DistSpec: tds, PerTaskMean: tds.Mean}
+	record("transfer", sm.Transfer, tr)
+
+	if len(sm.FN.Obs) >= minObs {
+		fr, err := Select(sm.FN, cfg.Families)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit: fn: %w", err)
+		}
+		fds, err := SpecFor(fr.Dist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit: fn: %w", err)
+		}
+		spec.FN = &modelspec.TransferSpec{DistSpec: fds, PerTaskMean: fds.Mean}
+		record("fn", sm.FN, fr)
+	}
+
+	if err := spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fit: assembled spec does not validate: %w", err)
+	}
+	return spec, report, nil
+}

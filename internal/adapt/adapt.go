@@ -1,0 +1,389 @@
+// Package adapt closes the paper's planning loop: it watches a live
+// trace of delay observations (internal/trace), maintains sliding-window
+// censored fits per delay channel (dist/fit), detects when the fitted
+// statistics have drifted away from the model the current policy was
+// solved against, and re-solves the reallocation policy — in-process or
+// through a dtrserved planning service.
+//
+// The paper fits its testbed's delay laws once, offline (§III-B), and
+// solves the policy against that static model. A deployed system's laws
+// move: servers slow down, links saturate, failure rates climb. The
+// controller here keeps the model honest: when the observed window
+// disagrees with the fitted law the policy was derived from — by
+// Kolmogorov–Smirnov distance or by relative mean shift — it refits the
+// window and replans.
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"dtr/dist"
+	"dtr/dist/fit"
+	"dtr/internal/obs"
+	"dtr/internal/stat"
+	"dtr/internal/trace"
+	"dtr/modelspec"
+)
+
+// Config parameterizes a Controller. Queues is required; everything
+// else has a usable default.
+type Config struct {
+	// Queues is the initial allocation the refitted specs record and the
+	// replanner solves against, one entry per server.
+	Queues []int
+	// Objective selects the replanning objective when Planner is nil:
+	// "mean" (default), "qos" or "reliability".
+	Objective string
+	// Deadline is the QoS deadline (required when Objective is "qos").
+	Deadline float64
+	// Window bounds the sliding window in events (default 8192). Older
+	// events fall out as new ones arrive.
+	Window int
+	// MinObs is the minimum number of exact observations every fitted
+	// channel needs before the controller trusts a fit (default
+	// fit.DefaultMinObs).
+	MinObs int
+	// CheckEvery is how many events arrive between drift checks
+	// (default 256). The first fit happens at the first check where
+	// every channel clears MinObs.
+	CheckEvery int
+	// DriftKS triggers a refit when the KS distance between a channel's
+	// windowed observations and its currently fitted law exceeds it
+	// (default 0.15).
+	DriftKS float64
+	// DriftRelMean triggers a refit when a channel's windowed
+	// observation mean moves by more than this relative fraction from
+	// its value at the last fit (default 0.25).
+	DriftRelMean float64
+	// Families restricts the candidate families (nil = all).
+	Families []fit.Family
+	// GridN and Workers size the in-process solver when Planner is nil
+	// (0 = library defaults).
+	GridN   int
+	Workers int
+	// Planner fits and solves; nil means an in-process planner built
+	// from the fields above.
+	Planner Planner
+}
+
+// Decision is the controller's output whenever it (re)plans: the fitted
+// spec, the per-channel fit report, and the solved policy.
+type Decision struct {
+	// Reason is "bootstrap" (first fit), "drift" or "forced".
+	Reason string `json:"reason"`
+	// Channel names the drifted channel when Reason is "drift".
+	Channel string `json:"channel,omitempty"`
+	// KS and RelMean are the drift scores that tripped the threshold
+	// (zero for bootstrap/forced decisions).
+	KS      float64 `json:"ks,omitempty"`
+	RelMean float64 `json:"relMean,omitempty"`
+	// Spec is the refitted, validated model document.
+	Spec *modelspec.SystemSpec `json:"spec"`
+	// Report carries the per-channel fits behind Spec.
+	Report *fit.Report `json:"report"`
+	// Policy is the re-solved reallocation policy and PolicyString its
+	// display form.
+	Policy       [][]int `json:"policy"`
+	PolicyString string  `json:"policyString"`
+	// Value is the achieved optimum on two-server systems (NaN-free
+	// JSON: omitted when unknown).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Controller implements the observe → fit → detect → replan loop. Not
+// safe for concurrent use: feed it from one goroutine (the trace tail).
+type Controller struct {
+	cfg     Config
+	planner Planner
+
+	window []trace.Event // ring buffer, capacity cfg.Window
+	next   int           // ring write cursor
+	filled bool
+
+	sinceCheck int
+	fitted     bool
+	laws       map[string]dist.Dist // channel → currently fitted law
+	baseMeans  map[string]float64   // channel → window obs-mean at last fit
+	baseNs     map[string]int       // channel → window obs-count at last fit
+}
+
+// New builds a Controller, applying defaults and validating cfg.
+func New(cfg Config) (*Controller, error) {
+	if len(cfg.Queues) == 0 {
+		return nil, fmt.Errorf("adapt: Queues required")
+	}
+	for i, q := range cfg.Queues {
+		if q < 0 {
+			return nil, fmt.Errorf("adapt: Queues[%d] = %d must be non-negative", i, q)
+		}
+	}
+	if cfg.Objective == "" {
+		cfg.Objective = "mean"
+	}
+	switch cfg.Objective {
+	case "mean", "reliability":
+	case "qos":
+		if cfg.Deadline <= 0 {
+			return nil, fmt.Errorf("adapt: objective qos needs a positive Deadline")
+		}
+	default:
+		return nil, fmt.Errorf("adapt: unknown objective %q", cfg.Objective)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8192
+	}
+	if cfg.MinObs <= 0 {
+		cfg.MinObs = fit.DefaultMinObs
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 256
+	}
+	if cfg.DriftKS <= 0 {
+		cfg.DriftKS = 0.15
+	}
+	if cfg.DriftRelMean <= 0 {
+		cfg.DriftRelMean = 0.25
+	}
+	if cfg.Planner == nil {
+		cfg.Planner = &InProcess{
+			Objective: cfg.Objective, Deadline: cfg.Deadline,
+			GridN: cfg.GridN, Workers: cfg.Workers,
+		}
+	}
+	return &Controller{cfg: cfg, planner: cfg.Planner}, nil
+}
+
+// Observe feeds one trace event. Most calls return (nil, nil); a
+// non-nil Decision means the controller (re)planned — at bootstrap,
+// once every channel clears MinObs, or on detected drift. Errors are
+// advisory: a failed fit or plan leaves the previous policy standing
+// and the window intact, so the caller can keep feeding events.
+func (c *Controller) Observe(ctx context.Context, ev trace.Event) (*Decision, error) {
+	if ev.V == 0 {
+		ev.V = trace.Version
+	}
+	if err := ev.Validate(); err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	adaptEvents.Inc()
+	if ev.Kind == trace.KindMeta {
+		return nil, nil
+	}
+	if len(c.window) < c.cfg.Window {
+		c.window = append(c.window, ev)
+	} else {
+		c.window[c.next] = ev
+		c.next = (c.next + 1) % c.cfg.Window
+		c.filled = true
+	}
+
+	c.sinceCheck++
+	if c.sinceCheck < c.cfg.CheckEvery {
+		return nil, nil
+	}
+	c.sinceCheck = 0
+	return c.check(ctx)
+}
+
+// snapshot returns the window contents (order does not matter to the
+// fitters).
+func (c *Controller) snapshot() []trace.Event {
+	out := make([]trace.Event, len(c.window))
+	copy(out, c.window)
+	return out
+}
+
+// check runs the bootstrap / drift logic at a check boundary.
+func (c *Controller) check(ctx context.Context) (*Decision, error) {
+	events := c.snapshot()
+	sm, err := fit.Collect(events)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	if !c.fitted {
+		if !c.ready(sm) {
+			return nil, nil
+		}
+		return c.replan(ctx, events, sm, &Decision{Reason: "bootstrap"})
+	}
+	d := c.drifted(sm)
+	if d == nil {
+		return nil, nil
+	}
+	adaptDrift.Inc()
+	obs.Default().Counter(obs.Name("dtr_adapt_drift_total", "channel", d.Channel)).Add(1)
+	return c.replan(ctx, events, sm, d)
+}
+
+// ready reports whether every channel a spec requires has MinObs exact
+// observations: all services for the configured server count, and the
+// transfer channel.
+func (c *Controller) ready(sm *fit.Samples) bool {
+	if sm.Servers != len(c.cfg.Queues) {
+		return false
+	}
+	for i := range sm.Service {
+		if len(sm.Service[i].Obs) < c.cfg.MinObs {
+			return false
+		}
+	}
+	return len(sm.Transfer.Obs) >= c.cfg.MinObs
+}
+
+// drifted compares the window against the fitted laws and returns a
+// drift Decision skeleton for the worst offending channel, or nil.
+// Failure channels are excluded: their samples are censoring-heavy by
+// nature (most realizations end with the server alive), so windowed KS
+// and mean statistics on the few uncensored failures are noise.
+func (c *Controller) drifted(sm *fit.Samples) *Decision {
+	var worst *Decision
+	score := 0.0
+	for ch, obsd := range c.channelObs(sm) {
+		law, ok := c.laws[ch]
+		if !ok || len(obsd) < c.cfg.MinObs {
+			continue
+		}
+		n := float64(len(obsd))
+		// The configured thresholds are floors; each statistic must also
+		// clear its sampling-noise gate, or the detector would trip on
+		// pure estimation error. The baseline law was itself fitted from
+		// a finite window (nFit observations), so both sample sizes enter
+		// the gate, two-sample style: the KS distance between an n-point
+		// window and a law estimated from nFit points hovers near
+		// 1.36·√(1/n + 1/nFit) under no drift at all.
+		nFit := float64(c.baseNs[ch])
+		if nFit <= 0 {
+			nFit = n
+		}
+		gate := math.Sqrt(1/n + 1/nFit)
+		ks := stat.KSDistance(obsd, law.CDF)
+		ksTrip := ks > c.cfg.DriftKS && ks > 1.63*gate // ~99% critical value
+		rel, relTrip := 0.0, false
+		if base, ok := c.baseMeans[ch]; ok && base > 0 {
+			m := stat.Mean(obsd)
+			rel = math.Abs(m-base) / base
+			se := stat.StdDev(obsd) * gate
+			relTrip = rel > c.cfg.DriftRelMean && math.Abs(m-base) > 4*se
+		}
+		if !ksTrip && !relTrip {
+			continue
+		}
+		// Normalize each score by its threshold so KS-driven and
+		// mean-driven drifts compete on one scale.
+		sc := math.Max(ks/c.cfg.DriftKS, rel/c.cfg.DriftRelMean)
+		if sc > score {
+			score = sc
+			worst = &Decision{Reason: "drift", Channel: ch, KS: ks, RelMean: rel}
+		}
+	}
+	return worst
+}
+
+// channelObs maps drift-checkable channels to their windowed exact
+// observations (transfer and fn values are already per-task normalized
+// by Collect).
+func (c *Controller) channelObs(sm *fit.Samples) map[string][]float64 {
+	out := make(map[string][]float64, sm.Servers+2)
+	for i := range sm.Service {
+		out[fmt.Sprintf("service[%d]", i)] = sm.Service[i].Obs
+	}
+	out["transfer"] = sm.Transfer.Obs
+	out["fn"] = sm.FN.Obs
+	return out
+}
+
+// replan fits the window and solves a fresh policy, completing d.
+func (c *Controller) replan(ctx context.Context, events []trace.Event, sm *fit.Samples, d *Decision) (*Decision, error) {
+	t0 := time.Now()
+	spec, report, err := c.planner.Fit(ctx, events, fit.Config{
+		Queues: c.cfg.Queues, Families: c.cfg.Families, MinObs: c.cfg.MinObs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adapt: fit: %w", err)
+	}
+	adaptFits.Inc()
+	policy, value, err := c.planner.Plan(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: plan: %w", err)
+	}
+	adaptReplans.Inc()
+	adaptRefit.Observe(time.Since(t0).Seconds())
+
+	if err := c.adopt(spec, sm); err != nil {
+		return nil, err
+	}
+	for _, cf := range report.Fits {
+		obs.Default().Gauge(obs.Name("dtr_adapt_channel_mean", "channel", cf.Channel)).Set(cf.Mean)
+	}
+
+	d.Spec = spec
+	d.Report = report
+	d.Policy = policy
+	d.PolicyString = formatPolicy(policy)
+	d.Value = value
+	return d, nil
+}
+
+// adopt installs a freshly fitted spec as the drift baseline: the
+// materialized per-channel laws and the window observation means.
+func (c *Controller) adopt(spec *modelspec.SystemSpec, sm *fit.Samples) error {
+	laws := make(map[string]dist.Dist, len(spec.Servers)+2)
+	for i, srv := range spec.Servers {
+		law, err := srv.Service.Dist()
+		if err != nil {
+			return fmt.Errorf("adapt: rebuild service[%d] law: %w", i, err)
+		}
+		laws[fmt.Sprintf("service[%d]", i)] = law
+	}
+	transferLaw := func(ts modelspec.TransferSpec) (dist.Dist, error) {
+		ds := ts.DistSpec
+		ds.Mean = ts.PerTaskMean
+		return ds.Dist()
+	}
+	law, err := transferLaw(spec.Transfer)
+	if err != nil {
+		return fmt.Errorf("adapt: rebuild transfer law: %w", err)
+	}
+	laws["transfer"] = law
+	if spec.FN != nil {
+		law, err := transferLaw(*spec.FN)
+		if err != nil {
+			return fmt.Errorf("adapt: rebuild fn law: %w", err)
+		}
+		laws["fn"] = law
+	}
+
+	base := make(map[string]float64)
+	ns := make(map[string]int)
+	for ch, obsd := range c.channelObs(sm) {
+		if len(obsd) > 0 {
+			base[ch] = stat.Mean(obsd)
+			ns[ch] = len(obsd)
+		}
+	}
+	c.laws = laws
+	c.baseMeans = base
+	c.baseNs = ns
+	c.fitted = true
+	return nil
+}
+
+// Refit forces a fit-and-replan from the current window regardless of
+// drift — the batch ("-once") mode of cmd/dtradapt.
+func (c *Controller) Refit(ctx context.Context) (*Decision, error) {
+	events := c.snapshot()
+	if len(events) == 0 {
+		return nil, fmt.Errorf("adapt: no events observed")
+	}
+	sm, err := fit.Collect(events)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	return c.replan(ctx, events, sm, &Decision{Reason: "forced"})
+}
+
+// Fitted reports whether the controller has a current fit and policy.
+func (c *Controller) Fitted() bool { return c.fitted }

@@ -1,0 +1,182 @@
+package adapt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"dtr"
+	"dtr/dist/fit"
+	"dtr/internal/serve"
+	"dtr/internal/trace"
+	"dtr/modelspec"
+)
+
+// Planner fits a model document to a trace window and solves it for a
+// reallocation policy. Two implementations: InProcess (this process's
+// solver stack) and HTTP (a dtrserved instance's /v1/fit and
+// /v1/optimize endpoints).
+type Planner interface {
+	Fit(ctx context.Context, events []trace.Event, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error)
+	// Plan solves spec and returns the policy with the achieved optimum
+	// (NaN when the solver does not report one).
+	Plan(ctx context.Context, spec *modelspec.SystemSpec) (policy [][]int, value float64, err error)
+}
+
+// InProcess plans inside this process: dist/fit for the fits, the dtr
+// solver stack for the policy.
+type InProcess struct {
+	// Objective is "mean" (default), "qos" or "reliability"; Deadline
+	// parameterizes "qos".
+	Objective string
+	Deadline  float64
+	// GridN and Workers size the solver (0 = library defaults).
+	GridN   int
+	Workers int
+}
+
+// Fit implements Planner.
+func (p *InProcess) Fit(_ context.Context, events []trace.Event, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error) {
+	return fit.Spec(events, cfg)
+}
+
+// Plan implements Planner.
+func (p *InProcess) Plan(_ context.Context, spec *modelspec.SystemSpec) ([][]int, float64, error) {
+	model, initial, err := spec.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := dtr.NewSystem(model, initial)
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.GridN > 0 {
+		sys.GridN = p.GridN
+	}
+	sys.Workers = p.Workers
+
+	var pol dtr.Policy
+	var value float64
+	switch obj := p.Objective; obj {
+	case "", "mean":
+		pol, value, err = sys.OptimalMeanPolicy()
+	case "qos":
+		pol, value, err = sys.OptimalQoSPolicy(p.Deadline)
+	case "reliability":
+		pol, value, err = sys.OptimalReliabilityPolicy()
+	default:
+		err = fmt.Errorf("adapt: unknown objective %q", obj)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if model.N() != 2 {
+		value = math.NaN() // the exact optimum is only reported for two servers
+	}
+	return pol, value, nil
+}
+
+// HTTP plans through a dtrserved instance: POST /v1/fit for the fits,
+// POST /v1/optimize for the policy. The wire types are the serve
+// package's own, so controller and daemon cannot drift apart.
+type HTTP struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Objective and Deadline parameterize /v1/optimize like InProcess.
+	Objective string
+	Deadline  float64
+	// TimeoutMS is forwarded as the per-request timeoutMs.
+	TimeoutMS int
+}
+
+func (p *HTTP) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends body to path and decodes a 200 into out; non-200 answers
+// become errors carrying the server's message.
+func (p *HTTP) post(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("adapt: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+path, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("adapt: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("adapt: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("adapt: read %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("adapt: %s: %s (HTTP %d)", path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("adapt: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("adapt: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Fit implements Planner via POST /v1/fit.
+func (p *HTTP) Fit(ctx context.Context, events []trace.Event, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error) {
+	var fams []string
+	for _, f := range cfg.Families {
+		fams = append(fams, string(f))
+	}
+	var resp serve.FitResponse
+	err := p.post(ctx, "/v1/fit", serve.FitRequest{
+		Events: events, Queues: cfg.Queues, Families: fams,
+		MinObs: cfg.MinObs, TimeoutMS: p.TimeoutMS,
+	}, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Spec == nil {
+		return nil, nil, fmt.Errorf("adapt: /v1/fit returned no spec")
+	}
+	return resp.Spec, resp.Report, nil
+}
+
+// Plan implements Planner via POST /v1/optimize.
+func (p *HTTP) Plan(ctx context.Context, spec *modelspec.SystemSpec) ([][]int, float64, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, fmt.Errorf("adapt: encode spec: %w", err)
+	}
+	var resp serve.OptimizeResponse
+	err = p.post(ctx, "/v1/optimize", serve.Request{
+		Spec:      specJSON,
+		Objective: p.Objective,
+		Deadline:  p.Deadline,
+		TimeoutMS: p.TimeoutMS,
+	}, &resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.Matrix) == 0 {
+		return nil, 0, fmt.Errorf("adapt: /v1/optimize returned no policy")
+	}
+	return resp.Matrix, float64(resp.Value), nil
+}
+
+// formatPolicy renders a policy matrix for display.
+func formatPolicy(policy [][]int) string { return dtr.FormatPolicy(policy) }

@@ -18,7 +18,9 @@
 //     on an internal/obs registry, exposable on the same mux.
 //
 // Endpoints: POST /v1/optimize, /v1/metrics, /v1/simulate, /v1/bounds,
-// /v1/cdf, /v1/batch, plus GET /healthz.
+// /v1/cdf, /v1/batch, /v1/fit, plus GET /healthz. Once StartDrain is
+// called (the daemon wires it to graceful shutdown) /healthz flips to
+// 503 so load balancers stop routing to a terminating instance.
 package serve
 
 import (
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"dtr/internal/obs"
@@ -62,11 +65,12 @@ type Config struct {
 // Service is the planning service. Create with New, mount with Register
 // or Handler.
 type Service struct {
-	cfg    Config
-	cache  *lru
-	flight *flightGroup
-	admit  *admitter
-	reg    *obs.Registry
+	cfg      Config
+	cache    *lru
+	flight   *flightGroup
+	admit    *admitter
+	reg      *obs.Registry
+	draining atomic.Bool
 }
 
 // Verbs lists the planning verbs served under /v1/, in registration
@@ -112,11 +116,24 @@ func (s *Service) Register(mux *http.ServeMux) {
 		mux.Handle("/v1/"+verb, s.endpoint(verb, s.handleVerb(verb)))
 	}
 	mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
+	mux.Handle("/v1/fit", s.endpoint("fit", s.handleFit))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 }
+
+// StartDrain flips /healthz to 503 ("draining"): a load balancer's next
+// probe sees the instance as unready and stops routing new work to it,
+// while in-flight requests continue to completion. The daemon wires
+// this to http.Server.RegisterOnShutdown so the flip happens the moment
+// graceful shutdown begins. Idempotent and irreversible.
+func (s *Service) StartDrain() { s.draining.Store(true) }
 
 // Handler returns the service on a fresh mux.
 func (s *Service) Handler() http.Handler {

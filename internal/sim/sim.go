@@ -22,6 +22,7 @@ import (
 	"dtr/internal/obs"
 	"dtr/internal/rngutil"
 	"dtr/internal/stat"
+	"dtr/internal/trace"
 )
 
 // Outcome is the result of one simulated realization.
@@ -65,15 +66,57 @@ func Run(m *core.Model, s *core.State, r *rand.Rand) Outcome {
 
 // RunControlled is Run with an optional periodic rebalancer.
 func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) Outcome {
+	return RunTraced(m, s, r, rb, nil, 0)
+}
+
+// runTracer emits trace events for one realization; a nil tracer (or a
+// tracer without a writer) is a no-op. Only age-zero draws are emitted:
+// a draw from an aged law is a residual-time sample, not a sample of
+// the fresh law the fitters estimate.
+type runTracer struct {
+	w   *trace.Writer
+	rep int
+}
+
+func (t *runTracer) emit(now float64, ev trace.Event) {
+	if t == nil || t.w == nil {
+		return
+	}
+	ev.Rep = t.rep
+	ev.T = now
+	_ = t.w.Write(ev) // sticky error surfaces at Flush
+}
+
+// RunTraced is RunControlled with an optional trace writer receiving
+// every fresh-law delay observation of the realization — service
+// completions, transfer deliveries, failures — plus right-censored
+// observations for services and transfers still in progress and
+// servers still alive when the realization ends. Tracing never draws
+// randomness, so outcomes are bit-identical with and without it.
+func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *trace.Writer, rep int) Outcome {
 	n := m.N()
 	st := s.Clone()
 	var q des.Queue
 	defer q.FlushStats()
 
+	var tr *runTracer
+	if tw != nil {
+		tr = &runTracer{w: tw, rep: rep}
+	}
+
 	out := Outcome{Served: make([]int, n), BusyTime: make([]float64, n)}
 	remainingGroups := make([]int, n) // groups still heading to each server
 
 	serviceEv := make([]*des.Event, n)
+	serviceStart := make([]float64, n)
+	serviceAged := make([]bool, n)
+	type inflightXfer struct {
+		src, dst, tasks int
+		start           float64
+		aged            bool
+	}
+	inflight := map[int]*inflightXfer{}
+	xferID := 0
 	doomed := false
 	finished := false
 
@@ -104,11 +147,17 @@ func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) O
 			d = d.Aged(aged)
 		}
 		w := d.Sample(r)
+		agedDraw := aged > 0
+		serviceStart[k] = q.Now()
+		serviceAged[k] = agedDraw
 		serviceEv[k] = q.Schedule(q.Now()+w, func() {
 			serviceEv[k] = nil
 			st.Queue[k]--
 			out.Served[k]++
 			out.BusyTime[k] += w
+			if !agedDraw {
+				tr.emit(q.Now(), trace.Event{Kind: trace.KindService, Server: k, Value: w})
+			}
 			if st.Queue[k] > 0 {
 				scheduleService(k, 0)
 			}
@@ -133,12 +182,16 @@ func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) O
 			continue
 		}
 		k := k
+		agedY := st.AgeY[k] > 0
 		q.Schedule(q.Now()+y, func() {
 			if !st.Up[k] || finished || doomed {
 				return
 			}
 			st.Up[k] = false
 			out.FailuresSeen++
+			if !agedY {
+				tr.emit(q.Now(), trace.Event{Kind: trace.KindFailure, Server: k, Value: y})
+			}
 			if serviceEv[k] != nil {
 				q.Cancel(serviceEv[k])
 				serviceEv[k] = nil
@@ -159,11 +212,22 @@ func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) O
 			td = td.Aged(age)
 		}
 		z := td.Sample(r)
+		id := xferID
+		xferID++
+		if tr != nil {
+			inflight[id] = &inflightXfer{src: src, dst: dst, tasks: tasks, start: q.Now(), aged: age > 0}
+		}
 		pendingGroups++
 		remainingGroups[dst]++
 		q.Schedule(q.Now()+z, func() {
 			pendingGroups--
 			remainingGroups[dst]--
+			if tr != nil {
+				if fl := inflight[id]; fl != nil && !fl.aged {
+					tr.emit(q.Now(), trace.Event{Kind: trace.KindTransfer, Src: src, Dst: dst, Tasks: tasks, Value: z})
+				}
+				delete(inflight, id)
+			}
 			if doomed || finished {
 				return
 			}
@@ -251,6 +315,28 @@ func RunControlled(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer) O
 		doomed = true
 		out.Time = q.Now()
 	}
+	if tr != nil {
+		// Right-censored observations at capture end: services still in
+		// progress, transfers still in flight, servers still alive. Their
+		// realized durations exceed the recorded elapsed values.
+		end := q.Now()
+		for k := 0; k < n; k++ {
+			if serviceEv[k] != nil && !serviceAged[k] {
+				tr.emit(end, trace.Event{Kind: trace.KindService, Server: k,
+					Value: end - serviceStart[k], Censored: true})
+			}
+			if st.Up[k] && st.AgeY[k] == 0 && end > 0 {
+				tr.emit(end, trace.Event{Kind: trace.KindFailure, Server: k,
+					Value: end, Censored: true})
+			}
+		}
+		for _, fl := range inflight {
+			if !fl.aged {
+				tr.emit(end, trace.Event{Kind: trace.KindTransfer, Src: fl.src, Dst: fl.dst,
+					Tasks: fl.tasks, Value: end - fl.start, Censored: true})
+			}
+		}
+	}
 	return out
 }
 
@@ -270,6 +356,11 @@ type Options struct {
 	// Rebalance, when non-nil, re-runs a DTR decision periodically in
 	// every replication (see Rebalancer).
 	Rebalance *Rebalancer
+	// Trace, when non-nil, receives every replication's delay
+	// observations (see RunTraced). Events from concurrent replications
+	// interleave in an unspecified order; the Rep field disambiguates.
+	// Tracing draws no randomness, so estimates are unchanged by it.
+	Trace *trace.Writer
 }
 
 // Estimates summarizes a Monte-Carlo run; every metric carries the
@@ -333,11 +424,11 @@ func EstimateState(m *core.Model, s *core.State, opt Options) (Estimates, error)
 			busy := obs.Default().Gauge(obs.Name("dtr_sim_worker_busy_seconds", "worker", w))
 			for i := range next {
 				if !instrumented {
-					outcomes[i] = RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+					outcomes[i] = RunTraced(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance, opt.Trace, i)
 					continue
 				}
 				t0 := time.Now()
-				out := RunControlled(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance)
+				out := RunTraced(m, s, rngutil.Stream(opt.Seed, i), opt.Rebalance, opt.Trace, i)
 				outcomes[i] = out
 				busy.Add(time.Since(t0).Seconds())
 				simWall.ObserveSince(t0)

@@ -27,6 +27,7 @@ import (
 
 	"dtr/internal/core"
 	"dtr/internal/rngutil"
+	"dtr/internal/trace"
 )
 
 // message is the on-wire frame (newline-delimited JSON over TCP).
@@ -75,6 +76,14 @@ type Testbed struct {
 	// noise, like a real testbed measurement; when false it reports the
 	// drawn values.
 	MeasureWall bool
+	// Trace, when non-nil, receives every delay observation as a trace
+	// event: service completions, injected transfer and failure-notice
+	// delays, failures — plus right-censored observations for services
+	// interrupted by a stop or failure and for failure clocks still
+	// pending when the realization ends. The writer is shared across
+	// server goroutines (it is concurrency-safe) and never consumes
+	// randomness, so enabling it cannot perturb the realization.
+	Trace *trace.Writer
 }
 
 // Run executes one realization of the canonical scenario: initial
@@ -116,6 +125,7 @@ func (tb *Testbed) Run(initial []int, p core.Policy, realization int) (Outcome, 
 			stopped: stopped,
 			scale:   scale,
 			wg:      &wg,
+			rep:     realization,
 		}
 	}
 	for k := 0; k < n; k++ {
@@ -123,6 +133,9 @@ func (tb *Testbed) Run(initial []int, p core.Policy, realization int) (Outcome, 
 	}
 
 	start := time.Now()
+	for k := 0; k < n; k++ {
+		servers[k].t0 = start
+	}
 	total := 0
 	queueLeft := make([]int, n)
 	pendingTo := make([]int, n) // tasks in flight per destination
@@ -223,9 +236,23 @@ type node struct {
 	stopped chan struct{}
 	scale   time.Duration
 	wg      *sync.WaitGroup
+	rep     int
+	t0      time.Time
 
 	serviceSamples  []float64
 	transferSamples []float64
+}
+
+// trace emits one observation to the testbed's trace writer (a no-op
+// without one), stamping the realization index and the model-time
+// instant of the observation.
+func (s *node) trace(ev trace.Event) {
+	if s.tb.Trace == nil {
+		return
+	}
+	ev.Rep = s.rep
+	ev.T = time.Since(s.t0).Seconds() / s.scale.Seconds()
+	_ = s.tb.Trace.Write(ev) // sticky error surfaces at Flush
 }
 
 // start launches the accept loop, the service loop, the failure timer and
@@ -240,9 +267,15 @@ func (s *node) start(row []int) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			began := time.Now()
 			if !s.sleep(y) {
+				// The realization ended with the server still up: a
+				// right-censored time-to-failure observation.
+				s.trace(trace.Event{Kind: trace.KindFailure, Server: s.id,
+					Value: time.Since(began).Seconds() / s.scale.Seconds(), Censored: true})
 				return
 			}
+			s.trace(trace.Event{Kind: trace.KindFailure, Server: s.id, Value: y})
 			s.mu.Lock()
 			s.up = false
 			left := s.queue
@@ -259,6 +292,7 @@ func (s *node) start(row []int) {
 						return s.tb.Model.FN(s.id, j).Sample(s.rng)
 					})
 					tbFNTime.Observe(x)
+					s.trace(trace.Event{Kind: trace.KindFN, Src: s.id, Dst: j, Value: x})
 					s.sendAfter(x, j, message{Kind: "fn", Src: s.id})
 				}
 			}
@@ -276,6 +310,7 @@ func (s *node) start(row []int) {
 		})
 		s.recordTransfer(z)
 		tbTransferTime.Observe(z)
+		s.trace(trace.Event{Kind: trace.KindTransfer, Src: s.id, Dst: j, Tasks: l, Value: z})
 		s.sendAfter(z, j, message{Kind: "group", Src: s.id, Tasks: l})
 	}
 }
@@ -367,20 +402,28 @@ func (s *node) serviceLoop() {
 		})
 		began := time.Now()
 		if !s.sleep(w) {
+			// Capture ended mid-service: right-censored at the elapsed
+			// (measured) duration.
+			s.trace(trace.Event{Kind: trace.KindService, Server: s.id,
+				Value: time.Since(began).Seconds() / s.scale.Seconds(), Censored: true})
 			return
 		}
 		s.mu.Lock()
 		if !s.up {
 			s.mu.Unlock()
+			// The server failed mid-service; the task never completed.
+			s.trace(trace.Event{Kind: trace.KindService, Server: s.id,
+				Value: time.Since(began).Seconds() / s.scale.Seconds(), Censored: true})
 			return
 		}
 		s.queue--
 		s.mu.Unlock()
+		measured := w
 		if s.tb.MeasureWall {
-			s.recordService(time.Since(began).Seconds() / s.scale.Seconds())
-		} else {
-			s.recordService(w)
+			measured = time.Since(began).Seconds() / s.scale.Seconds()
 		}
+		s.recordService(measured)
+		s.trace(trace.Event{Kind: trace.KindService, Server: s.id, Value: measured})
 		s.report(event{kind: "served", server: s.id, when: time.Now()})
 	}
 }

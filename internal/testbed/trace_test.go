@@ -1,0 +1,111 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dtr/internal/core"
+	"dtr/internal/trace"
+)
+
+// TestTraceCapture runs traced realizations and checks the event stream
+// is valid and complete: one uncensored service event per served task,
+// one transfer event per shipped group, and a failure observation —
+// censored when the server outlived the capture — per failure-prone
+// server.
+func TestTraceCapture(t *testing.T) {
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	if err := tw.Meta(2, "testbed"); err != nil {
+		t.Fatalf("Meta: %v", err)
+	}
+	tb := &Testbed{Model: fastModel(true), Scale: 100 * time.Microsecond, Seed: 3, Trace: tw}
+
+	const reps = 4
+	servedTotal, groups := 0, 0
+	for i := 0; i < reps; i++ {
+		out, err := tb.Run([]int{6, 3}, core.Policy2(2, 1), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Completed {
+			t.Fatalf("realization %d did not complete", i)
+		}
+		servedTotal += out.Served[0] + out.Served[1]
+		groups += 2 // the policy ships two groups per realization
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	evs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	var services, transfers, fns int
+	reps2 := map[int]bool{}
+	for _, ev := range evs {
+		reps2[ev.Rep] = true
+		switch ev.Kind {
+		case trace.KindService:
+			if !ev.Censored {
+				services++
+			}
+			if ev.Value < 0 {
+				t.Fatalf("negative service value: %+v", ev)
+			}
+		case trace.KindTransfer:
+			if !ev.Censored {
+				transfers++
+			}
+			if ev.Tasks < 1 {
+				t.Fatalf("transfer without tasks: %+v", ev)
+			}
+		case trace.KindFN:
+			fns++
+		case trace.KindFailure, trace.KindMeta:
+		}
+	}
+	if services != servedTotal {
+		t.Errorf("uncensored service events = %d, served tasks = %d", services, servedTotal)
+	}
+	if transfers != groups {
+		t.Errorf("transfer events = %d, shipped groups = %d", transfers, groups)
+	}
+	if !reps2[0] || !reps2[reps-1] {
+		t.Errorf("realization indices missing from trace: %v", reps2)
+	}
+	_ = fns // reliable model: no failures, so no failure notices
+}
+
+// TestTraceCensoredFailures checks that failure-prone realizations
+// record the failure channel: every realization contributes one failure
+// observation per server, uncensored when the server died in-run.
+func TestTraceCensoredFailures(t *testing.T) {
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	tb := &Testbed{Model: fastModel(false), Scale: 100 * time.Microsecond, Seed: 9, Trace: tw}
+	const reps = 6
+	for i := 0; i < reps; i++ {
+		if _, err := tb.Run([]int{6, 3}, core.Policy2(2, 1), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	evs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	failures := 0
+	for _, ev := range evs {
+		if ev.Kind == trace.KindFailure {
+			failures++
+		}
+	}
+	if failures != 2*reps {
+		t.Errorf("failure observations = %d, want %d (one per server per realization)", failures, 2*reps)
+	}
+}

@@ -1,0 +1,13 @@
+package trace
+
+import "dtr/internal/obs"
+
+// Trace observability: event volume through writers and readers, and
+// how much of the written stream is censored — a capture dominated by
+// censored observations means the capture window is too short for the
+// delay scale it is measuring.
+var (
+	traceEventsWritten  = obs.NewCounter("dtr_trace_events_written_total")
+	traceEventsRead     = obs.NewCounter("dtr_trace_events_read_total")
+	traceCensoredEvents = obs.NewCounter("dtr_trace_events_censored_total")
+)

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{Kind: KindMeta, Servers: 2, Source: "test"},
+		{Kind: KindService, Server: 0, Value: 1.5, Rep: 3, T: 10},
+		{Kind: KindService, Server: 1, Value: 0.25, Censored: true},
+		{Kind: KindTransfer, Src: 0, Dst: 1, Tasks: 26, Value: 31.4, T: 0.5},
+		{Kind: KindFN, Src: 1, Dst: 0, Value: 0.9},
+		{Kind: KindFailure, Server: 1, Value: 142.7},
+		{Kind: KindFailure, Server: 0, Value: 250, Censored: true},
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("Write(%+v): %v", ev, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(events))
+	}
+	for i, ev := range events {
+		ev.V = Version
+		if got[i] != ev {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(io.Discard)
+	bad := []Event{
+		{Kind: "", Value: 1},
+		{Kind: "bogus", Value: 1},
+		{Kind: KindService, Server: -1, Value: 1},
+		{Kind: KindService, Server: 0, Value: -1},
+		{Kind: KindTransfer, Src: 0, Dst: 1, Tasks: 0, Value: 1},
+		{Kind: KindTransfer, Src: 1, Dst: 1, Tasks: 2, Value: 1},
+		{Kind: KindFN, Src: 0, Dst: -1, Value: 1},
+		{Kind: KindService, Server: 0, Value: 1, Rep: -2},
+	}
+	for _, ev := range bad {
+		if err := w.Write(ev); err == nil {
+			t.Errorf("Write(%+v): want error, got nil", ev)
+		}
+	}
+	// Invalid writes must not poison the writer.
+	if err := w.Write(Event{Kind: KindService, Value: 1}); err != nil {
+		t.Fatalf("valid write after rejected events: %v", err)
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"v":1,"kind":"service","value":`,                          // truncated JSON
+		`{"v":99,"kind":"service","value":1}`,                       // future version
+		`{"v":1,"kind":"warp","value":1}`,                           // unknown kind
+		`{"v":1,"kind":"service","server":0}` + "\n" + `{"bad":}`,   // second line bad
+		`{"v":1,"kind":"transfer","src":0,"dst":0,"tasks":2,"value":1}`, // self-transfer
+	}
+	for _, in := range cases {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadAll(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestReaderRangeChecksAfterMeta(t *testing.T) {
+	in := `{"v":1,"kind":"meta","servers":2}
+{"v":1,"kind":"service","server":1,"value":1}
+{"v":1,"kind":"service","server":2,"value":1}
+`
+	_, err := ReadAll(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "2-server capture") {
+		t.Fatalf("want out-of-range server error, got %v", err)
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"v":1,"kind":"service","server":0,"value":1}` + "\n\n"
+	evs, err := ReadAll(strings.NewReader(in))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("got %d events, err %v; want 1, nil", len(evs), err)
+	}
+}
+
+func TestWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = w.Write(Event{Kind: KindService, Server: g, Value: float64(i) + 0.5, Rep: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	evs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(evs) != goroutines*per {
+		t.Fatalf("got %d events, want %d", len(evs), goroutines*per)
+	}
+	perServer := map[int]int{}
+	for _, ev := range evs {
+		perServer[ev.Server]++
+	}
+	for g := 0; g < goroutines; g++ {
+		if perServer[g] != per {
+			t.Errorf("server %d: %d events, want %d", g, perServer[g], per)
+		}
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failAfter{n: 1})
+	// The bufio buffer absorbs small writes; force a flush to hit the
+	// failing writer, then confirm the error sticks.
+	_ = w.Write(Event{Kind: KindService, Value: 1})
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush on failing writer: want error")
+	}
+	if err := w.Write(Event{Kind: KindService, Value: 2}); err == nil {
+		t.Fatal("Write after failure: want sticky error")
+	}
+}
+
+// failAfter fails every write once n bytes-writes have happened.
+type failAfter struct{ n int }
+
+func (f failAfter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("disk full")
+}
