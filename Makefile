@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke clean
+.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke load-smoke clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./dist/fit
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./internal/load ./dist/fit
 
 # Boot dtrserved on a random port, drive every endpoint plus a /metrics
 # scrape, and verify a clean SIGTERM drain.
@@ -30,6 +30,11 @@ serve-smoke:
 # batch-refit it with dtradapt, round-trip the spec through dtrplan.
 adapt-smoke:
 	sh scripts/adapt_smoke.sh
+
+# Boot dtrserved, replay an optimize+metrics mix at two request rates
+# with dtrload, and validate the resulting BENCH_serve.json.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

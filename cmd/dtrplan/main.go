@@ -94,6 +94,12 @@ func plan(modelPath string, gridN, workers int, sub string, rest []string, out *
 	sys.GridN = gridN
 	sys.Workers = workers
 
+	// One root span per invocation (a no-op without -trace-out): the
+	// solver phases underneath it land in the JSONL trace.
+	span := obs.DefaultTracer().StartRoot("dtrplan", "", "verb", sub, "model", modelPath)
+	defer span.End()
+	sys.Span = span
+
 	switch sub {
 	case "optimize":
 		return cmdOptimize(sys, rest, out)

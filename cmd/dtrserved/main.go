@@ -73,6 +73,8 @@ func run(args []string) error {
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting")
 	withPProf := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service listener")
 	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error or off")
+	withTrace := fs.Bool("trace", true, "trace every request: span trees on /debug/requests, W3C traceparent in and out")
+	traceOut := fs.String("trace-out", "", "also append completed span trees as JSONL to this file (implies -trace)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dtrserved [-addr :8080] [-workers N] [-cache N] [-timeout 60s] ...")
 		fs.PrintDefaults()
@@ -109,6 +111,30 @@ func run(args []string) error {
 		obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 	}
 
+	// Tracing: every request grows a span tree, the slowest and most
+	// recent land on /debug/requests, and -trace-out streams them as
+	// JSONL for offline analysis.
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *withTrace || *traceOut != "" {
+		cfg := obs.TracerConfig{}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("trace out: %w", err)
+			}
+			traceFile = f
+			cfg.Writer = f
+		}
+		tracer = obs.NewTracer(cfg)
+		obs.SetTracer(tracer)
+		defer func() {
+			if traceFile != nil {
+				_ = traceFile.Close()
+			}
+		}()
+	}
+
 	svc := serve.New(serve.Config{
 		Workers:     workers.N,
 		MaxInflight: *maxInflight,
@@ -117,6 +143,7 @@ func run(args []string) error {
 		MaxBody:     *maxBody,
 		CacheSize:   *cacheSize,
 		Registry:    reg,
+		Tracer:      tracer,
 	})
 	mux := http.NewServeMux()
 	svc.Register(mux)
@@ -161,6 +188,11 @@ func run(args []string) error {
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed
 	obs.Logger().Info("dtrserved stopped")
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			return fmt.Errorf("trace out: %w", err)
+		}
+	}
 	return nil
 }
 

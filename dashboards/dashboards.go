@@ -1,0 +1,26 @@
+// Package dashboards embeds the Grafana dashboard definitions and
+// Prometheus alert rules for a dtrserved deployment, so the bundle is
+// versioned with the metrics it visualizes and validated by the test
+// suite: every panel query must reference metrics this codebase actually
+// registers.
+//
+// Import the package (or read the files directly from the repository) to
+// provision Grafana and Prometheus:
+//
+//	dashboards/dtr-serve.json   service traffic, latency, cache, admission
+//	dashboards/dtr-solver.json  solver throughput and the adapt loop
+//	dashboards/alerts.yml       Prometheus alerting rules
+package dashboards
+
+import "embed"
+
+// FS holds the dashboard JSON documents and the alert rules.
+//
+//go:embed dtr-serve.json dtr-solver.json alerts.yml
+var FS embed.FS
+
+// Dashboards lists the embedded Grafana dashboard files.
+var Dashboards = []string{"dtr-serve.json", "dtr-solver.json"}
+
+// AlertRules is the embedded Prometheus rule file.
+const AlertRules = "alerts.yml"

@@ -295,22 +295,40 @@ func (c *Controller) channelObs(sm *fit.Samples) map[string][]float64 {
 	return out
 }
 
-// replan fits the window and solves a fresh policy, completing d.
+// replan fits the window and solves a fresh policy, completing d. Each
+// replan is one trace: a "replan" root span with "fit" and "plan"
+// children (and, under the HTTP planner, the outgoing posts beneath
+// those — the traceparent hop joins dtrserved's trace to this one).
 func (c *Controller) replan(ctx context.Context, events []trace.Event, sm *fit.Samples, d *Decision) (*Decision, error) {
 	t0 := time.Now()
-	spec, report, err := c.planner.Fit(ctx, events, fit.Config{
+	span := obs.DefaultTracer().StartRoot("replan", "", "reason", d.Reason, "events", len(events))
+	defer span.End()
+	ctx = obs.ContextWithSpan(ctx, span)
+	if d.Channel != "" {
+		span.SetAttr("channel", d.Channel)
+	}
+
+	fitSpan := span.Child("fit")
+	spec, report, err := c.planner.Fit(obs.ContextWithSpan(ctx, fitSpan), events, fit.Config{
 		Queues: c.cfg.Queues, Families: c.cfg.Families, MinObs: c.cfg.MinObs,
 	})
+	fitSpan.End()
 	if err != nil {
+		span.SetAttr("error", "fit")
 		return nil, fmt.Errorf("adapt: fit: %w", err)
 	}
 	adaptFits.Inc()
-	policy, value, err := c.planner.Plan(ctx, spec)
+	planSpan := span.Child("plan")
+	policy, value, err := c.planner.Plan(obs.ContextWithSpan(ctx, planSpan), spec)
+	planSpan.End()
 	if err != nil {
+		span.SetAttr("error", "plan")
 		return nil, fmt.Errorf("adapt: plan: %w", err)
 	}
 	adaptReplans.Inc()
 	adaptRefit.Observe(time.Since(t0).Seconds())
+	span.Logger().Info("replanned", "reason", d.Reason, "channel", d.Channel,
+		"policy", formatPolicy(policy), "dur", time.Since(t0))
 
 	if err := c.adopt(spec, sm); err != nil {
 		return nil, err

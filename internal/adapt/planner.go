@@ -11,6 +11,7 @@ import (
 
 	"dtr"
 	"dtr/dist/fit"
+	"dtr/internal/obs"
 	"dtr/internal/serve"
 	"dtr/internal/trace"
 	"dtr/modelspec"
@@ -103,7 +104,10 @@ func (p *HTTP) client() *http.Client {
 }
 
 // post sends body to path and decodes a 200 into out; non-200 answers
-// become errors carrying the server's message.
+// become errors carrying the server's message. When ctx carries a span
+// (the controller's replan span), a child span brackets the call and its
+// W3C traceparent goes out on the request, so dtrserved's request trace
+// joins the controller's — one trace id across the process hop.
 func (p *HTTP) post(ctx context.Context, path string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
@@ -114,11 +118,18 @@ func (p *HTTP) post(ctx context.Context, path string, body, out any) error {
 		return fmt.Errorf("adapt: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	span := obs.SpanFromContext(ctx).Child("http_post", "path", path)
+	defer span.End()
+	if tp := span.Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	resp, err := p.client().Do(req)
 	if err != nil {
+		span.SetAttr("error", true)
 		return fmt.Errorf("adapt: POST %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	span.SetAttr("code", resp.StatusCode)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return fmt.Errorf("adapt: read %s response: %w", path, err)

@@ -34,6 +34,7 @@ import (
 	"dtr/internal/core"
 	"dtr/internal/fft"
 	"dtr/internal/gridfn"
+	"dtr/internal/obs"
 )
 
 // Solver evaluates canonical-scenario metrics on a fixed time lattice.
@@ -72,6 +73,8 @@ type Solver struct {
 	// draws. Light-tailed laws contribute ~0, so the correction is safe
 	// to leave on (NewSolver's default).
 	TailCorrect bool
+
+	span *obs.Span
 }
 
 // Config sizes the solver's lattice.
@@ -88,6 +91,11 @@ type Config struct {
 	// at least the largest queue the sweep will produce at server k
 	// (own tasks plus the largest incoming batch).
 	MaxQueue [2]int
+	// Span, when set, attaches solver-phase sub-spans to a request-scoped
+	// trace: a "solver_build" child for the prefix-table construction, and
+	// "fft" / "transfer_law" children for lazy cache fills. Purely
+	// observational — results are bit-identical with or without it.
+	Span *obs.Span
 }
 
 // NewSolver precomputes the service-sum laws for a two-server model.
@@ -128,12 +136,15 @@ func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
 		fsize:       fft.NextPow2(2*n - 1),
 		zCache:      make(map[[3]int]*gridfn.Lattice),
 		TailCorrect: true,
+		span:        cfg.Span,
 	}
+	build := cfg.Span.Child("solver_build", "grid_n", n, "max_queue_1", cfg.MaxQueue[0], "max_queue_2", cfg.MaxQueue[1])
 	for k := 0; k < 2; k++ {
 		base := gridfn.FromCDF(m.Service[k].CDF, dx, n)
 		s.pre[k] = base.Prefixes(cfg.MaxQueue[k])
 		s.preF[k] = make([][]complex128, len(s.pre[k]))
 	}
+	build.End()
 	return s, nil
 }
 
@@ -157,6 +168,8 @@ func (s *Solver) freqOf(k, j int) []complex128 {
 		return f
 	}
 	fftMisses.Inc()
+	sp := s.span.Child("fft", "server", k, "fold", j)
+	defer sp.End()
 	buf := make([]complex128, s.fsize)
 	for i, v := range s.pre[k][j].M {
 		buf[i] = complex(v, 0)
@@ -229,6 +242,8 @@ func (s *Solver) zLattice(tasks, src, dst int) *gridfn.Lattice {
 		return l
 	}
 	zMisses.Inc()
+	sp := s.span.Child("transfer_law", "tasks", tasks, "src", src, "dst", dst)
+	defer sp.End()
 	l = gridfn.FromCDF(s.model.Transfer(tasks, src, dst).CDF, s.dx, s.n)
 	s.mu.Lock()
 	if have, ok := s.zCache[key]; ok {

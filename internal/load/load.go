@@ -1,0 +1,322 @@
+// Package load is the open-loop load generator behind cmd/dtrload: it
+// replays a configurable mix of planning verbs against a dtrserved
+// instance at fixed request rates and reports latency quantiles and
+// outcome rates per (rate level, verb), checked against declared SLOs.
+//
+// The loop is open: requests launch on the rate schedule regardless of
+// how many are still outstanding, so a saturated server shows up as
+// growing latency and 429/504 rejections instead of a silently
+// self-throttling benchmark — the standard coordinated-omission-safe
+// arrangement for service benchmarking.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ReportSchema versions the BENCH_serve.json document.
+const ReportSchema = "dtr.bench.serve.v1"
+
+// SLO declares the pass/fail thresholds. Zero values disable a check.
+type SLO struct {
+	// P99Ms bounds the per-verb p99 latency in milliseconds.
+	P99Ms float64 `json:"p99Ms,omitempty"`
+	// MaxErrorRate bounds the fraction of 5xx and transport failures.
+	MaxErrorRate float64 `json:"maxErrorRate,omitempty"`
+	// MaxRejectRate bounds the fraction of 429 + 504 answers.
+	MaxRejectRate float64 `json:"maxRejectRate,omitempty"`
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests (nil = a client with Timeout 30s).
+	Client *http.Client
+	// Spec is the modelspec document every request carries.
+	Spec json.RawMessage
+	// Verbs is the request mix, applied round-robin (required).
+	Verbs []string
+	// RPS are the offered request rates; each runs for Duration.
+	RPS []float64
+	// Duration is the wall-clock length of one rate level (default 5s).
+	Duration time.Duration
+	// Grid, Policy, Objective, Deadline, Reps, Points parameterize the
+	// verbs like the dtrplan flags of the same names.
+	Grid      int
+	Policy    string
+	Objective string
+	Deadline  float64
+	Reps      int
+	Points    int
+	// Variants spreads requests over this many distinct cache keys
+	// (default 1 = every request identical, the fully cached regime):
+	// simulate varies its seed, the lattice verbs vary their grid by one
+	// 64-point step per variant. More variants → more real solver work.
+	Variants int
+	// SLO declares the pass/fail thresholds recorded in the report.
+	SLO SLO
+}
+
+// VerbStats aggregates one verb's outcomes at one rate level.
+type VerbStats struct {
+	Verb     string `json:"verb"`
+	Requests int    `json:"requests"`
+	// Codes counts answers by HTTP status ("0" = transport failure).
+	Codes map[string]int `json:"codes"`
+	// Latency quantiles over completed requests, milliseconds.
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	// ErrorRate is the 5xx+transport fraction, RejectRate the 429+504
+	// fraction (504 counts in both: it is the admission path's overload
+	// answer, and a client-visible failure).
+	ErrorRate  float64 `json:"errorRate"`
+	RejectRate float64 `json:"rejectRate"`
+	// SLOPass reports this cell against the configured SLO.
+	SLOPass bool `json:"sloPass"`
+}
+
+// LevelReport is one rate level's outcome.
+type LevelReport struct {
+	RPS         float64     `json:"rps"`
+	DurationSec float64     `json:"durationSec"`
+	Offered     int         `json:"offered"`
+	Completed   int         `json:"completed"`
+	Verbs       []VerbStats `json:"verbs"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Schema  string        `json:"schema"`
+	BaseURL string        `json:"baseUrl"`
+	Start   time.Time     `json:"start"`
+	SLO     SLO           `json:"slo"`
+	SLOPass bool          `json:"sloPass"`
+	Levels  []LevelReport `json:"levels"`
+}
+
+// outcome is one finished request.
+type outcome struct {
+	verb string
+	code int // 0 = transport failure
+	ms   float64
+}
+
+// Run executes the configured schedule and returns the report. Context
+// cancellation aborts between launches; in-flight requests still finish
+// (bounded by the client timeout).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: BaseURL required")
+	}
+	if len(cfg.Spec) == 0 {
+		return nil, fmt.Errorf("load: Spec required")
+	}
+	if len(cfg.Verbs) == 0 {
+		return nil, fmt.Errorf("load: at least one verb required")
+	}
+	if len(cfg.RPS) == 0 {
+		return nil, fmt.Errorf("load: at least one RPS level required")
+	}
+	for _, r := range cfg.RPS {
+		if r <= 0 {
+			return nil, fmt.Errorf("load: RPS levels must be positive, got %g", r)
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Variants <= 0 {
+		cfg.Variants = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	rep := &Report{Schema: ReportSchema, BaseURL: cfg.BaseURL, Start: time.Now().UTC(), SLO: cfg.SLO, SLOPass: true}
+	for _, rps := range cfg.RPS {
+		lvl, err := runLevel(ctx, client, &cfg, rps)
+		if err != nil {
+			return nil, err
+		}
+		for _, vs := range lvl.Verbs {
+			if !vs.SLOPass {
+				rep.SLOPass = false
+			}
+		}
+		rep.Levels = append(rep.Levels, *lvl)
+	}
+	return rep, nil
+}
+
+// runLevel drives one rate level: an open-loop launch schedule, then a
+// wait for every outstanding request.
+func runLevel(ctx context.Context, client *http.Client, cfg *Config, rps float64) (*LevelReport, error) {
+	interval := time.Duration(float64(time.Second) / rps)
+	deadline := time.Now().Add(cfg.Duration)
+
+	var (
+		mu       sync.Mutex
+		outs     []outcome
+		wg       sync.WaitGroup
+		launched int
+	)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; time.Now().Before(deadline); i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+		verb := cfg.Verbs[i%len(cfg.Verbs)]
+		variant := i % cfg.Variants
+		launched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := issue(ctx, client, cfg, verb, variant)
+			mu.Lock()
+			outs = append(outs, o)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	lvl := &LevelReport{RPS: rps, DurationSec: cfg.Duration.Seconds(), Offered: launched, Completed: len(outs)}
+	byVerb := map[string][]outcome{}
+	for _, o := range outs {
+		byVerb[o.verb] = append(byVerb[o.verb], o)
+	}
+	for _, verb := range cfg.Verbs {
+		vo, ok := byVerb[verb]
+		if !ok {
+			continue
+		}
+		lvl.Verbs = append(lvl.Verbs, summarize(verb, vo, cfg.SLO))
+	}
+	return lvl, nil
+}
+
+// issue sends one request and classifies its outcome.
+func issue(ctx context.Context, client *http.Client, cfg *Config, verb string, variant int) outcome {
+	body, err := json.Marshal(request(cfg, verb, variant))
+	if err != nil {
+		return outcome{verb: verb, code: 0}
+	}
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/"+verb, bytes.NewReader(body))
+	if err != nil {
+		return outcome{verb: verb, code: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{verb: verb, code: 0, ms: time.Since(t0).Seconds() * 1e3}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return outcome{verb: verb, code: resp.StatusCode, ms: time.Since(t0).Seconds() * 1e3}
+}
+
+// request builds the verb's body for one variant. Variants spread the
+// cache keys: simulate moves its seed, the lattice verbs step their grid
+// by 64 points (staying inside the server's accepted range).
+func request(cfg *Config, verb string, variant int) map[string]any {
+	req := map[string]any{"spec": cfg.Spec}
+	grid := cfg.Grid
+	if grid == 0 {
+		grid = 8192
+	}
+	switch verb {
+	case "simulate":
+		req["policy"] = cfg.Policy
+		req["seed"] = uint64(1 + variant)
+		if cfg.Reps > 0 {
+			req["reps"] = cfg.Reps
+		}
+		if cfg.Deadline > 0 {
+			req["deadline"] = cfg.Deadline
+		}
+	case "optimize":
+		req["grid"] = grid + 64*variant
+		if cfg.Objective != "" {
+			req["objective"] = cfg.Objective
+		}
+		if cfg.Deadline > 0 {
+			req["deadline"] = cfg.Deadline
+		}
+	case "cdf":
+		req["grid"] = grid + 64*variant
+		req["policy"] = cfg.Policy
+		if cfg.Points > 0 {
+			req["points"] = cfg.Points
+		}
+	default: // metrics, bounds
+		req["grid"] = grid + 64*variant
+		req["policy"] = cfg.Policy
+		if cfg.Deadline > 0 {
+			req["deadline"] = cfg.Deadline
+		}
+	}
+	return req
+}
+
+// summarize folds one verb's outcomes into stats and the SLO verdict.
+func summarize(verb string, outs []outcome, slo SLO) VerbStats {
+	vs := VerbStats{Verb: verb, Requests: len(outs), Codes: map[string]int{}, SLOPass: true}
+	var lat []float64
+	var errs, rejects int
+	for _, o := range outs {
+		vs.Codes[fmt.Sprintf("%d", o.code)]++
+		lat = append(lat, o.ms)
+		if o.code == 0 || o.code >= 500 {
+			errs++
+		}
+		if o.code == http.StatusTooManyRequests || o.code == http.StatusGatewayTimeout {
+			rejects++
+		}
+	}
+	sort.Float64s(lat)
+	vs.P50Ms = quantile(lat, 0.50)
+	vs.P99Ms = quantile(lat, 0.99)
+	vs.P999Ms = quantile(lat, 0.999)
+	n := float64(len(outs))
+	vs.ErrorRate = float64(errs) / n
+	vs.RejectRate = float64(rejects) / n
+	if slo.P99Ms > 0 && vs.P99Ms > slo.P99Ms {
+		vs.SLOPass = false
+	}
+	if slo.MaxErrorRate > 0 && vs.ErrorRate > slo.MaxErrorRate {
+		vs.SLOPass = false
+	}
+	if slo.MaxRejectRate > 0 && vs.RejectRate > slo.MaxRejectRate {
+		vs.SLOPass = false
+	}
+	return vs
+}
+
+// quantile reads the q-quantile from a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -20,15 +20,18 @@ type CLI struct {
 	LogLevel    string
 	Progress    bool
 	DumpPath    string
+	TracePath   string
 
 	// Err is where the endpoint announcement, progress lines and the
 	// end-of-run summary go (default os.Stderr).
 	Err io.Writer
 
-	reg      *Registry
-	srv      *Server
-	stopTick chan struct{}
-	tickDone chan struct{}
+	reg       *Registry
+	srv       *Server
+	stopTick  chan struct{}
+	tickDone  chan struct{}
+	tracer    *Tracer
+	traceFile *os.File
 }
 
 // BindFlags registers the observability flags on fs and returns the CLI
@@ -45,12 +48,15 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 		"print live metric deltas to stderr every 2s")
 	fs.StringVar(&c.DumpPath, "metrics-dump", "",
 		"write a JSON metrics snapshot to this file at exit")
+	fs.StringVar(&c.TracePath, "trace-out", "",
+		"enable request-scoped tracing and append completed span trees as JSONL to this file (also served on /debug/requests with -metrics-addr)")
 	return c
 }
 
 // Enabled reports whether any observability flag was set.
 func (c *CLI) Enabled() bool {
-	return c.MetricsAddr != "" || c.LogLevel != "" || c.Progress || c.DumpPath != "" || c.PProf
+	return c.MetricsAddr != "" || c.LogLevel != "" || c.Progress || c.DumpPath != "" || c.PProf ||
+		c.TracePath != ""
 }
 
 // Start installs the registry and logger and, when configured, starts
@@ -65,6 +71,15 @@ func (c *CLI) Start() error {
 	}
 	c.reg = NewRegistry()
 	SetDefault(c.reg)
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return fmt.Errorf("trace out: %w", err)
+		}
+		c.traceFile = f
+		c.tracer = NewTracer(TracerConfig{Writer: f})
+		SetTracer(c.tracer)
+	}
 	if c.LogLevel != "" {
 		lvl, err := ParseLevel(c.LogLevel)
 		if err != nil {
@@ -125,6 +140,14 @@ func (c *CLI) Stop() error {
 	}
 	if err := c.reg.Snapshot().WriteSummary(c.Err); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if c.traceFile != nil {
+		if err := c.tracer.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := c.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace out: %w", err)
+		}
 	}
 	if err := c.srv.Close(); err != nil && firstErr == nil {
 		firstErr = err

@@ -39,15 +39,18 @@ func publishExpvar() {
 }
 
 // Register mounts the full exposition surface for r on mux: /metrics
-// (Prometheus text), /metrics.json (Snapshot JSON), /debug/vars (expvar)
-// and — when withPProf — the net/http/pprof handlers under
-// /debug/pprof/. Long-running daemons use it to share one mux between
-// their API and their telemetry; Serve and the CLIs route through it too.
+// (Prometheus text), /metrics.json (Snapshot JSON), /debug/vars
+// (expvar), /debug/requests (the default tracer's recent/slowest trace
+// trees — empty JSON when tracing is off) and — when withPProf — the
+// net/http/pprof handlers under /debug/pprof/. Long-running daemons use
+// it to share one mux between their API and their telemetry; Serve and
+// the CLIs route through it too.
 func Register(mux *http.ServeMux, r *Registry, withPProf bool) {
 	publishExpvar()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/metrics.json", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/requests", handleRequests)
 	if withPProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,70 @@
+package obs
+
+import "encoding/hex"
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// ingress/egress. The header is
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^ trace-id ^^^^^^^^^^^ ^^ parent-id ^^^ flags
+//
+// Only version 00 and the field lengths are enforced; the flags byte is
+// accepted as any two hex digits (we always emit 01, "sampled"). A
+// malformed header is simply ignored — the callee starts a fresh trace —
+// which is the fallback the spec prescribes.
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent extracts the trace-id and parent-id from a
+// traceparent header value. ok is false — and the caller should mint a
+// fresh trace — when the header is empty, malformed, carries an
+// unsupported version, or an all-zero (invalid) ID.
+func ParseTraceparent(h string) (trace TraceID, parent SpanID, ok bool) {
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags)
+	if len(h) != 55 {
+		return TraceID{}, SpanID{}, false
+	}
+	if h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	if !isHexLower(h[3:35]) || !isHexLower(h[36:52]) || !isHexLower(h[53:55]) {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(trace[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if trace.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return trace, parent, true
+}
+
+// Traceparent renders the span's position as a traceparent header value
+// for egress propagation ("" on the nil span — set no header).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.id)
+}
+
+// FormatTraceparent renders a version-00, sampled traceparent value.
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	return "00-" + trace.String() + "-" + span.String() + "-01"
+}
+
+// isHexLower reports whether s is entirely lowercase hex digits (the
+// spec requires lowercase on the wire).
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -36,6 +36,10 @@ type Alg1Options struct {
 	// the serial sweep at every worker count. The Gauss–Seidel inner loop
 	// of a row stays serial; it is order-dependent by construction.
 	Workers int
+	// Span, when set, records the refinement as a trace sub-tree: one
+	// "algorithm1" span with an "alg1_row" child per refined server row
+	// (rows attach concurrently; the span's child list is thread-safe).
+	Span *obs.Span
 }
 
 // Algorithm1 computes the multi-server DTR policy of the paper's
@@ -73,6 +77,8 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 	}
 
 	defer obs.StartSpan("solve", "algo", "algorithm1", "servers", n, "objective", opt.Objective.String())()
+	algSpan := opt.Span.Child("algorithm1", "servers", n, "objective", opt.Objective.String())
+	defer algSpan.End()
 	var iters, pairSolves, converged atomic.Uint64
 	defer func() {
 		alg1Runs.Inc()
@@ -109,6 +115,12 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		if len(candidates) == 0 {
 			return nil
 		}
+		rowSpan := algSpan.Child("alg1_row", "server", i, "candidates", len(candidates))
+		rowIters := 0
+		defer func() {
+			rowSpan.SetAttr("iterations", rowIters)
+			rowSpan.End()
+		}()
 		solvers := make(map[int]*direct.Solver)
 		pairSolver := func(j int) (*direct.Solver, error) {
 			if s, ok := solvers[j]; ok {
@@ -134,6 +146,7 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		prev := append([]int(nil), l[i]...)
 		for k := 1; k <= opt.K; k++ {
 			iters.Add(1)
+			rowIters++
 			for _, j := range candidates {
 				// Tasks still planned for other recipients are assumed
 				// gone when solving against j.

@@ -88,6 +88,10 @@ type Options2 struct {
 	// count: each pass's candidate points are generated in serial scan
 	// order, evaluated concurrently, and reduced in that same order.
 	Workers int
+	// Span, when set, records the search as a trace sub-tree: one
+	// "optimize2" span with a "sweep" child per evaluated batch. Purely
+	// observational — see the bit-identity guard in the tests.
+	Span *obs.Span
 }
 
 // evaluate computes the objective for one policy.
@@ -122,9 +126,14 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 		workers: par.Workers(opt.Workers),
 		best:    Result2{Value: obj.worst(), L12: -1, L21: -1},
 		seen:    make(map[[2]int]bool),
+		span:    opt.Span.Child("optimize2", "objective", obj.String(), "m1", m1, "m2", m2),
 	}
 	sweepRuns.Inc()
-	defer func() { sweepEvals.Add(uint64(sw.evals)) }()
+	defer func() {
+		sweepEvals.Add(uint64(sw.evals))
+		sw.span.SetAttr("evals", sw.evals)
+		sw.span.End()
+	}()
 
 	if opt.Exhaustive {
 		// Sending tasks both ways simultaneously is feasible in the model
@@ -210,6 +219,7 @@ type sweep2 struct {
 	seen     map[[2]int]bool
 	best     Result2
 	evals    int
+	span     *obs.Span // "optimize2" trace span (nil = untraced)
 
 	cand [][2]int  // candidate scratch, reused across batches
 	vals []float64 // value slots, written by index from the pool
@@ -245,6 +255,8 @@ func (sw *sweep2) tryAll(pts [][2]int) error {
 	}
 	vals := sw.vals[:len(cand)]
 	sweepBatches.Inc()
+	batchSpan := sw.span.Child("sweep", "batch", len(cand))
+	defer batchSpan.End()
 	instrumented := obs.Default() != nil
 	err := par.ForEach(sw.workers, len(cand), func(w, i int) error {
 		var t0 time.Time

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+
+	"dtr/internal/obs"
 )
 
 // maxBatch bounds the /v1/batch fan-out width per request.
@@ -64,7 +66,10 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		go func(i int) {
 			defer wg.Done()
 			item := &req.Requests[i]
-			res := s.process(r.Context(), item.Verb, &item.Request)
+			mspan := obs.SpanFromContext(r.Context()).Child("batch_item", "i", i, "verb", item.Verb)
+			res := s.process(obs.ContextWithSpan(r.Context(), mspan), item.Verb, &item.Request)
+			mspan.SetAttr("code", res.status)
+			mspan.End()
 			results[i] = BatchResult{
 				Code:  res.status,
 				Body:  json.RawMessage(bytes.TrimSpace(res.body)),

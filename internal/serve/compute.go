@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dtr"
+	"dtr/internal/obs"
 )
 
 // OptimizeResponse answers /v1/optimize.
@@ -70,10 +71,11 @@ type CDFResponse struct {
 }
 
 // compute runs the verb's solver work for a validated request. Workers
-// is the service-wide solver budget. Every error it returns is an
-// internal failure (HTTP 500): client-caused conditions were rejected by
+// is the service-wide solver budget; span (nil = tracing off) receives
+// the solver-phase sub-spans. Every error it returns is an internal
+// failure (HTTP 500): client-caused conditions were rejected by
 // parseRequest.
-func compute(pr *parsedRequest, workers int) (any, error) {
+func compute(pr *parsedRequest, workers int, span *obs.Span) (any, error) {
 	sys, err := dtr.NewSystem(pr.model, pr.initial)
 	if err != nil {
 		return nil, err
@@ -82,6 +84,7 @@ func compute(pr *parsedRequest, workers int) (any, error) {
 		sys.GridN = pr.opts.Grid
 	}
 	sys.Workers = workers
+	sys.Span = span
 
 	switch pr.verb {
 	case "optimize":

@@ -60,6 +60,12 @@ type Config struct {
 	CacheSize int
 	// Registry receives the service metrics (nil = metrics off).
 	Registry *obs.Registry
+	// Tracer receives request-scoped span trees (nil = tracing off).
+	// Every /v1/ request gets a root span — adopting the W3C traceparent
+	// header when the caller sent one, echoing its own traceparent on the
+	// response — with children for cache lookup, queue wait, the solve and
+	// the solver phases underneath it.
+	Tracer *obs.Tracer
 }
 
 // Service is the planning service. Create with New, mount with Register
@@ -70,6 +76,7 @@ type Service struct {
 	flight   *flightGroup
 	admit    *admitter
 	reg      *obs.Registry
+	tracer   *obs.Tracer
 	draining atomic.Bool
 }
 
@@ -103,6 +110,7 @@ func New(cfg Config) *Service {
 		cache:  newLRU(cfg.CacheSize),
 		flight: newFlightGroup(),
 		reg:    cfg.Registry,
+		tracer: cfg.Tracer,
 	}
 	s.admit = newAdmitter(cfg.MaxInflight, cfg.MaxQueued, func(sec float64) {
 		s.reg.Histogram("dtr_serve_queue_wait_seconds", nil).Observe(sec)
@@ -156,13 +164,26 @@ type result struct {
 }
 
 // endpoint wraps a handler with the shared instrumentation: per-endpoint
-// request counters by status code and a latency histogram.
+// request counters by status code, a latency histogram and (when the
+// service has a tracer) a root request span. The span adopts the
+// caller's W3C traceparent header when present and the response carries
+// this request's own traceparent, so traces join across the adapt-loop →
+// dtrserved hop in either direction.
 func (s *Service) endpoint(name string, h func(w http.ResponseWriter, r *http.Request) int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		span := s.tracer.StartRoot("/v1/"+name, r.Header.Get(obs.TraceparentHeader), "endpoint", name)
+		if span != nil {
+			w.Header().Set(obs.TraceparentHeader, span.Traceparent())
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
 		code := h(w, r)
+		span.SetAttr("code", code)
+		span.End()
+		dur := time.Since(t0)
+		span.Logger().Debug("request served", "endpoint", name, "code", code, "dur", dur)
 		s.reg.Histogram(obs.Name("dtr_serve_latency_seconds", "endpoint", name), nil).
-			Observe(time.Since(t0).Seconds())
+			Observe(dur.Seconds())
 		s.reg.Counter(obs.Name("dtr_serve_requests_total", "endpoint", name, "code", strconv.Itoa(code))).Add(1)
 	})
 }
@@ -201,8 +222,21 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, dst any) int {
 }
 
 // process is the verb pipeline shared by the direct endpoints and the
-// batch fan-out: validate → cache → coalesce → admit → compute.
+// batch fan-out. It carries the per-verb instrumentation — unlike the
+// per-endpoint counters, these count every planning computation
+// including /v1/batch members, so batch traffic is visible per verb.
 func (s *Service) process(ctx context.Context, verb string, req *Request) result {
+	t0 := time.Now()
+	res := s.pipeline(ctx, verb, req)
+	s.reg.Histogram(obs.Name("dtr_serve_verb_latency_seconds", "verb", verb), nil).
+		Observe(time.Since(t0).Seconds())
+	s.reg.Counter(obs.Name("dtr_serve_verb_requests_total", "verb", verb, "code", strconv.Itoa(res.status))).Add(1)
+	return res
+}
+
+// pipeline runs one planning computation:
+// validate → cache → coalesce → admit → compute.
+func (s *Service) pipeline(ctx context.Context, verb string, req *Request) result {
 	pr, err := parseRequest(verb, req)
 	if err != nil {
 		var bad badRequest
@@ -221,22 +255,33 @@ func (s *Service) process(ctx context.Context, verb string, req *Request) result
 	ctx, cancel := context.WithTimeout(ctx, wait)
 	defer cancel()
 
-	if body, ok := s.cache.Get(pr.key); ok {
+	span := obs.SpanFromContext(ctx)
+
+	lookup := span.Child("cache_lookup")
+	body, hit := s.cache.Get(pr.key)
+	lookup.SetAttr("hit", hit)
+	lookup.End()
+	if hit {
 		s.reg.Counter("dtr_serve_cache_hits_total").Add(1)
 		return result{status: http.StatusOK, body: body}
 	}
 	s.reg.Counter("dtr_serve_cache_misses_total").Add(1)
 
 	f, leader := s.flight.join(pr.key)
+	var waitSpan *obs.Span
 	if leader {
 		// Run the flight on its own goroutine under the server-wide
 		// timeout, detached from this caller's context: if this caller
 		// gives up early, coalesced followers (and the cache) still get
-		// the result.
-		go s.runFlight(pr, f)
+		// the result. The leader's span hosts the flight's queue-wait and
+		// solve children; if the leader times out first, its exported tree
+		// simply omits the spans the detached flight had not finished.
+		go s.runFlight(pr, f, span)
 	} else {
 		s.reg.Counter("dtr_serve_coalesced_total").Add(1)
+		waitSpan = span.Child("coalesced_wait")
 	}
+	defer waitSpan.End()
 
 	select {
 	case <-f.done:
@@ -248,12 +293,16 @@ func (s *Service) process(ctx context.Context, verb string, req *Request) result
 }
 
 // runFlight executes one coalesced computation: admission, solve,
-// encode, cache.
-func (s *Service) runFlight(pr *parsedRequest, f *flight) {
+// encode, cache. The leader's request span (nil when tracing is off)
+// receives the queue-wait and solve sub-spans.
+func (s *Service) runFlight(pr *parsedRequest, f *flight, span *obs.Span) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
 	defer cancel()
 
-	if err := s.admit.acquire(ctx); err != nil {
+	qw := span.Child("queue_wait")
+	err := s.admit.acquire(ctx)
+	qw.End()
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.flight.finish(pr.key, f, nil, http.StatusTooManyRequests,
 				fmt.Sprintf("over capacity: %d computations running and %d queued",
@@ -270,7 +319,10 @@ func (s *Service) runFlight(pr *parsedRequest, f *flight) {
 	defer s.reg.Gauge("dtr_serve_inflight").Add(-1)
 	s.reg.Counter("dtr_serve_computes_total").Add(1)
 
-	resp, err := compute(pr, s.cfg.Workers)
+	solve := span.Child("solve", "verb", pr.verb)
+	resp, err := compute(pr, s.cfg.Workers, solve)
+	solve.End()
+	span.Logger().Debug("flight computed", "verb", pr.verb, "key", pr.key, "err", err != nil)
 	if err != nil {
 		s.flight.finish(pr.key, f, nil, http.StatusInternalServerError, err.Error())
 		return

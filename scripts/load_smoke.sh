@@ -1,0 +1,70 @@
+#!/bin/sh
+# Smoke test for cmd/dtrload: boot dtrserved on a random port, replay an
+# optimize+metrics mix at two request rates, and require a clean
+# BENCH_serve.json (no transport errors or 5xx). Used by
+# `make load-smoke`; set LOAD_SMOKE_OUT to keep the report.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+served="$workdir/dtrserved"
+load="$workdir/dtrload"
+addrfile="$workdir/addr"
+logfile="$workdir/daemon.log"
+out=${LOAD_SMOKE_OUT:-$workdir/BENCH_serve.json}
+
+cleanup() {
+    status=$?
+    if [ -n "${srv_pid:-}" ] && kill -0 "$srv_pid" 2>/dev/null; then
+        kill -TERM "$srv_pid" 2>/dev/null || true
+        wait "$srv_pid" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "load-smoke: FAILED (daemon log below)" >&2
+        cat "$logfile" >&2 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "load-smoke: building dtrserved and dtrload"
+$GO build -o "$served" ./cmd/dtrserved
+$GO build -o "$load" ./cmd/dtrload
+
+"$served" -addr 127.0.0.1:0 -addr-file "$addrfile" >"$logfile" 2>&1 &
+srv_pid=$!
+
+i=0
+while [ ! -f "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "load-smoke: daemon never published its address" >&2
+        exit 1
+    fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+        echo "load-smoke: daemon exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "load-smoke: daemon on $addr"
+
+# Two verbs at two offered rates. Rates are modest so the smoke stays
+# meaningful on a 1-CPU CI runner (see EXPERIMENTS.md).
+"$load" -addr "http://$addr" -spec examples/specs/testbed.json \
+    -verbs optimize,metrics -rps 2,4 -duration 3s -grid 512 \
+    -variants 2 -out "$out"
+
+# The report must carry every (level, verb) cell with quantiles filled
+# and no transport failures or 5xx anywhere.
+$GO run ./scripts/benchcheck "$out"
+
+kill -TERM "$srv_pid"
+if ! wait "$srv_pid"; then
+    echo "load-smoke: daemon did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+srv_pid=""
+echo "load-smoke: OK"

@@ -5,6 +5,7 @@ import (
 
 	"dtr/internal/core"
 	"dtr/internal/direct"
+	"dtr/internal/obs"
 	"dtr/internal/policy"
 )
 
@@ -65,6 +66,13 @@ type System struct {
 	// worker count; see policy.Options2.Workers.
 	Workers int
 
+	// Span, when set, attaches solver-phase sub-spans (Optimize2 sweep
+	// passes, Algorithm-1 rows, FFT/convolution cache fills) to a
+	// request-scoped trace (internal/obs tracing). Purely observational:
+	// results are bit-identical with or without it, and tracing consumes
+	// no randomness.
+	Span *obs.Span
+
 	solver *direct.Solver
 }
 
@@ -101,6 +109,7 @@ func (s *System) directSolver() (*direct.Solver, error) {
 			N:        s.GridN,
 			Horizon:  s.Horizon,
 			MaxQueue: [2]int{maxQ, maxQ},
+			Span:     s.Span,
 		})
 		if err != nil {
 			return nil, err
@@ -214,7 +223,7 @@ func (s *System) optimize(obj policy.Objective, deadline float64) (Policy, float
 		if err != nil {
 			return nil, 0, err
 		}
-		res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{Deadline: deadline, Workers: s.Workers})
+		res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{Deadline: deadline, Workers: s.Workers, Span: s.Span})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -270,5 +279,6 @@ func (s *System) Algorithm1(cfg Alg1Config) (Policy, error) {
 		GridN:     cfg.GridN,
 		Estimates: cfg.Estimates,
 		Workers:   workers,
+		Span:      s.Span,
 	})
 }
