@@ -3,6 +3,7 @@
 //
 //	dtrplan -model system.json optimize -objective mean
 //	dtrplan -model system.json optimize -objective qos -deadline 180
+//	dtrplan -model system.json optimize -explain plan.json -probe
 //	dtrplan -model system.json metrics  -policy "0>1:26" -deadline 180
 //	dtrplan -model system.json simulate -policy "0>1:26" -reps 10000
 //	dtrplan -model system.json bounds   -policy "0>2:4,1>2:3" -deadline 40
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -120,8 +122,13 @@ func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	objective := fs.String("objective", "mean", "mean, qos or reliability")
 	deadline := fs.Float64("deadline", 0, "deadline for -objective qos")
+	explainPath := fs.String("explain", "", "write the explain artifact (winning policy + solver diagnostics, JSON) to this path; \"-\" emits it on stdout instead of the summary")
+	probe := fs.Bool("probe", false, "with -explain: estimate grid-truncation error via a half-resolution probe (two-server systems)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *explainPath != "" {
+		return optimizeExplain(sys, *objective, *deadline, *probe, *explainPath, out)
 	}
 	var (
 		pol   dtr.Policy
@@ -148,6 +155,38 @@ func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 	} else {
 		fmt.Fprintln(out, "value:     (multi-server: evaluate with `simulate -policy ...`)")
 	}
+	return nil
+}
+
+// optimizeExplain runs the self-auditing optimizer path: same winning
+// policy and value as the plain path, plus the versioned diagnostics
+// artifact written to path ("-" streams the JSON to stdout in place of
+// the human summary).
+func optimizeExplain(sys *dtr.System, objective string, deadline float64, probe bool, path string, out *os.File) error {
+	ex, err := sys.Explain(dtr.ExplainOptions{Objective: objective, Deadline: deadline, Probe: probe})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ex, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "objective: %s\n", ex.Objective)
+	fmt.Fprintf(out, "policy:    %s\n", dtr.FormatPolicy(dtr.Policy(ex.Policy)))
+	if ex.Value != nil {
+		fmt.Fprintf(out, "value:     %.4f\n", *ex.Value)
+	} else {
+		fmt.Fprintln(out, "value:     (multi-server: evaluate with `simulate -policy ...`)")
+	}
+	fmt.Fprintf(out, "explain:   %s\n", path)
 	return nil
 }
 

@@ -12,12 +12,14 @@
 //	/v1/simulate  Monte-Carlo estimates of a policy
 //	/v1/bounds    batch-arrival metric bounds
 //	/v1/cdf       completion-time distribution curve
+//	/v1/explain   optimize + versioned solver-health/convergence artifact
 //	/v1/batch     fan-out of the above in one call
 //	/v1/fit       fit a modelspec document to captured trace events
 //	/healthz      readiness probe (GET; 503 once draining)
 //
 // Telemetry rides on the same listener: /metrics (Prometheus text),
-// /metrics.json, /debug/vars and — with -pprof — /debug/pprof/.
+// /metrics.json, /debug/vars, /debug/solver (solver-health rollup) and —
+// with -pprof — /debug/pprof/.
 //
 // SIGTERM/SIGINT drain gracefully: /healthz flips to 503 so load
 // balancers stop routing here, the listener closes, in-flight requests

@@ -7,20 +7,21 @@
 // Import the package (or read the files directly from the repository) to
 // provision Grafana and Prometheus:
 //
-//	dashboards/dtr-serve.json   service traffic, latency, cache, admission
-//	dashboards/dtr-solver.json  solver throughput and the adapt loop
-//	dashboards/alerts.yml       Prometheus alerting rules
+//	dashboards/dtr-serve.json          service traffic, latency, cache, admission
+//	dashboards/dtr-solver.json         solver throughput and the adapt loop
+//	dashboards/dtr-solver-health.json  numerical error budgets and convergence health
+//	dashboards/alerts.yml              Prometheus alerting rules
 package dashboards
 
 import "embed"
 
 // FS holds the dashboard JSON documents and the alert rules.
 //
-//go:embed dtr-serve.json dtr-solver.json alerts.yml
+//go:embed dtr-serve.json dtr-solver.json dtr-solver-health.json alerts.yml
 var FS embed.FS
 
 // Dashboards lists the embedded Grafana dashboard files.
-var Dashboards = []string{"dtr-serve.json", "dtr-solver.json"}
+var Dashboards = []string{"dtr-serve.json", "dtr-solver.json", "dtr-solver-health.json"}
 
 // AlertRules is the embedded Prometheus rule file.
 const AlertRules = "alerts.yml"

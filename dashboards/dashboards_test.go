@@ -120,8 +120,10 @@ func TestDashboardsValid(t *testing.T) {
 
 func TestDashboardsCoverRequiredSignals(t *testing.T) {
 	// The observability contract: the bundle must visualize serve
-	// latency, cache hit ratio, admission rejections, solver throughput
-	// and the adapt loop's drift/replan activity.
+	// latency, cache hit ratio, admission rejections, solver throughput,
+	// the adapt loop's drift/replan activity, and the solver-health
+	// signals (mass residuals, tail mass, grid-error probe, convergence
+	// outcomes, drift-detector margins).
 	var all strings.Builder
 	for _, name := range Dashboards {
 		data, err := FS.ReadFile(name)
@@ -139,6 +141,15 @@ func TestDashboardsCoverRequiredSignals(t *testing.T) {
 		"dtr_policy_sweep_evaluations_total",
 		"dtr_adapt_drift_events_total",
 		"dtr_adapt_replans_total",
+		"dtr_solver_fold_mass_residual",
+		"dtr_solver_tail_mass",
+		"dtr_solver_folds_total",
+		"dtr_solver_probe_error",
+		"dtr_solver_probe_runs_total",
+		"dtr_policy_alg1_capped_total",
+		"dtr_policy_sweep_coverage",
+		"dtr_adapt_drift_ks",
+		"dtr_adapt_drift_rel_mean",
 	} {
 		if !strings.Contains(all.String(), metric) {
 			t.Errorf("no dashboard panel queries %s", metric)

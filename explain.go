@@ -1,0 +1,213 @@
+package dtr
+
+import (
+	"fmt"
+	"math"
+
+	"dtr/internal/direct"
+	"dtr/internal/policy"
+)
+
+// ExplainSchema versions the explain artifact; bump on incompatible
+// shape changes so downstream consumers (dashboards, stored artifacts)
+// can dispatch.
+const ExplainSchema = "dtr.explain.v1"
+
+// SolverDiagnostics re-exports the canonical solver's numerical-health
+// snapshot (see direct.Diagnostics).
+type SolverDiagnostics = direct.Diagnostics
+
+// SweepDiagnostics re-exports Optimize2's lattice-coverage statistics.
+type SweepDiagnostics = policy.SweepDiagnostics
+
+// Alg1Diagnostics re-exports Algorithm 1's convergence record.
+type Alg1Diagnostics = policy.Alg1Diagnostics
+
+// ExplainOptions selects what Explain optimizes and audits.
+type ExplainOptions struct {
+	// Objective is "mean" (default), "qos" or "reliability".
+	Objective string
+	// Deadline is the QoS horizon TM (required for "qos").
+	Deadline float64
+	// Probe additionally runs the half-resolution grid-error probe at
+	// the winning policy (two-server systems only; roughly doubles the
+	// solve cost the first time). Ignored for multi-server systems,
+	// whose pairwise solvers are transient.
+	Probe bool
+}
+
+// ExplainProbe is the grid-error probe section of an explain artifact:
+// the winning objective value recomputed at half resolution and the
+// implied discretization-error estimate. Pointer fields are nil when the
+// metric is undefined (mean time on failure-prone servers).
+type ExplainProbe struct {
+	// CoarseGridN is the shadow lattice's point count.
+	CoarseGridN int `json:"coarseGridN"`
+	// Fine and Coarse are the objective's value at full and half
+	// resolution; AbsError = |Fine − Coarse| upper-bounds the fine
+	// grid's truncation error for first-order-or-better convergence.
+	Fine     *float64 `json:"fine"`
+	Coarse   *float64 `json:"coarse"`
+	AbsError *float64 `json:"absError"`
+	// RelError is AbsError/|Fine| (omitted when Fine is 0 or undefined).
+	RelError *float64 `json:"relError,omitempty"`
+	// TailMassFine/TailMassCoarse are the truncated probability masses
+	// of the winning policy's finish laws at the two resolutions.
+	TailMassFine   float64 `json:"tailMassFine"`
+	TailMassCoarse float64 `json:"tailMassCoarse"`
+}
+
+// Explain is the versioned self-audit artifact of one policy
+// optimization: the winning policy and objective, plus the numerical and
+// convergence diagnostics of every solver phase that produced it. It is
+// JSON-stable (all floats are finite by construction) and carries enough
+// context to reproduce the solve.
+type Explain struct {
+	Schema    string  `json:"schema"`
+	Objective string  `json:"objective"`
+	Deadline  float64 `json:"deadline,omitempty"`
+	Servers   int     `json:"servers"`
+	// GridN is the analytic solver's lattice size (two-server systems).
+	GridN int `json:"gridN,omitempty"`
+	// Policy is the winning reallocation matrix; PolicyString is its
+	// human-readable ParsePolicy-compatible "src>dst:count" rendering.
+	Policy       [][]int `json:"policy"`
+	PolicyString string  `json:"policyString"`
+	// Value is the achieved objective (omitted for multi-server runs,
+	// whose values come from simulation).
+	Value *float64 `json:"value,omitempty"`
+	// Solver and Sweep audit the two-server analytic path; Algorithm1
+	// audits the multi-server path. Exactly one set is present.
+	Solver     *SolverDiagnostics `json:"solver,omitempty"`
+	Sweep      *SweepDiagnostics  `json:"sweep,omitempty"`
+	Algorithm1 *Alg1Diagnostics   `json:"algorithm1,omitempty"`
+	// Probe is the optional grid-error estimate (ExplainOptions.Probe).
+	Probe *ExplainProbe `json:"probe,omitempty"`
+}
+
+// explainObjective maps the artifact's objective names onto the policy
+// package's enum ("" defaults to mean time).
+func explainObjective(name string, deadline float64) (policy.Objective, string, error) {
+	switch name {
+	case "", "mean":
+		return policy.ObjMeanTime, "mean", nil
+	case "qos":
+		if deadline <= 0 {
+			return 0, "", fmt.Errorf("dtr: explain objective %q requires a positive deadline", name)
+		}
+		return policy.ObjQoS, "qos", nil
+	case "reliability":
+		return policy.ObjReliability, "reliability", nil
+	default:
+		return 0, "", fmt.Errorf("dtr: unknown explain objective %q", name)
+	}
+}
+
+// fptr boxes a finite float; NaN and ±Inf become nil so the artifact
+// stays valid JSON without lossy null-encoding tricks.
+func fptr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// Explain optimizes the system under the requested objective and returns
+// the versioned explain artifact: the winning policy alongside the
+// numerical-health and convergence diagnostics of the solve. The policy
+// and value are bit-identical to the plain optimizer calls
+// (OptimalMeanPolicy etc.) — diagnostics collection is observational.
+func (s *System) Explain(opt ExplainOptions) (*Explain, error) {
+	obj, objName, err := explainObjective(opt.Objective, opt.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explain{
+		Schema:    ExplainSchema,
+		Objective: objName,
+		Deadline:  opt.Deadline,
+		Servers:   s.model.N(),
+	}
+
+	if s.model.N() != 2 {
+		var ad Alg1Diagnostics
+		p, err := policy.Algorithm1(s.model, s.initial, policy.Alg1Options{
+			Objective: obj,
+			Deadline:  opt.Deadline,
+			Workers:   s.Workers,
+			Span:      s.Span,
+			Diag:      &ad,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Policy = p
+		ex.PolicyString = FormatPolicy(p)
+		ex.Algorithm1 = &ad
+		return ex, nil
+	}
+
+	if opt.Probe {
+		// The probe needs the solver built with the shadow enabled; the
+		// flag only matters on first (lazy) construction.
+		s.ErrorProbe = true
+	}
+	sv, err := s.directSolver()
+	if err != nil {
+		return nil, err
+	}
+	var sweep SweepDiagnostics
+	res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{
+		Deadline: opt.Deadline,
+		Workers:  s.Workers,
+		Span:     s.Span,
+		Diag:     &sweep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the solver audit before the probe: the probe re-evaluates
+	// the winner, which would inflate the sweep's fold counters.
+	diag := sv.Diagnostics()
+	p := Policy2(res.L12, res.L21)
+	ex.GridN = diag.GridN
+	ex.Policy = p
+	ex.PolicyString = FormatPolicy(p)
+	ex.Value = fptr(res.Value)
+	ex.Solver = &diag
+	ex.Sweep = &sweep
+
+	if opt.Probe {
+		pr, err := sv.ProbeGridError(s.initial[0], s.initial[1], res.L12, res.L21, opt.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		ex.Probe = explainProbe(objName, pr)
+	}
+	return ex, nil
+}
+
+// explainProbe projects a ProbeResult onto the objective being reported.
+func explainProbe(objName string, pr *direct.ProbeResult) *ExplainProbe {
+	var fine, coarse, abs float64
+	switch objName {
+	case "qos":
+		fine, coarse, abs = pr.Fine.QoS, pr.Coarse.QoS, pr.QoSErr
+	case "reliability":
+		fine, coarse, abs = pr.Fine.Reliability, pr.Coarse.Reliability, pr.ReliabilityErr
+	default:
+		fine, coarse, abs = pr.Fine.Mean, pr.Coarse.Mean, pr.MeanErr
+	}
+	ep := &ExplainProbe{
+		CoarseGridN:    pr.CoarseN,
+		Fine:           fptr(fine),
+		Coarse:         fptr(coarse),
+		AbsError:       fptr(abs),
+		TailMassFine:   pr.Fine.TailMass,
+		TailMassCoarse: pr.Coarse.TailMass,
+	}
+	if ep.Fine != nil && ep.AbsError != nil && fine != 0 {
+		ep.RelError = fptr(abs / math.Abs(fine))
+	}
+	return ep
+}

@@ -261,12 +261,18 @@ func (c *Controller) drifted(sm *fit.Samples) *Decision {
 		gate := math.Sqrt(1/n + 1/nFit)
 		ks := stat.KSDistance(obsd, law.CDF)
 		ksTrip := ks > c.cfg.DriftKS && ks > 1.63*gate // ~99% critical value
+		// Export the detector's internals per channel so dashboards can
+		// show how close each channel sits to its trigger, not just
+		// whether it fired (no-ops until a metrics registry is set).
+		obs.Default().Gauge(obs.Name("dtr_adapt_drift_ks", "channel", ch)).Set(ks)
+		obs.Default().Gauge(obs.Name("dtr_adapt_drift_noise_gate", "channel", ch)).Set(1.63 * gate)
 		rel, relTrip := 0.0, false
 		if base, ok := c.baseMeans[ch]; ok && base > 0 {
 			m := stat.Mean(obsd)
 			rel = math.Abs(m-base) / base
 			se := stat.StdDev(obsd) * gate
 			relTrip = rel > c.cfg.DriftRelMean && math.Abs(m-base) > 4*se
+			obs.Default().Gauge(obs.Name("dtr_adapt_drift_rel_mean", "channel", ch)).Set(rel)
 		}
 		if !ksTrip && !relTrip {
 			continue

@@ -1,0 +1,61 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"dtr/internal/obs"
+	"dtr/internal/rngutil"
+)
+
+// TestDriftGaugesExported: every drift check must publish the detector's
+// working statistics (KS distance, noise gate, relative-mean gap) as
+// per-channel gauges, whether or not the thresholds trip — the gauges
+// exist precisely to show the margin before an alert fires.
+func TestDriftGaugesExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	c, err := New(Config{
+		Queues: []int{12, 6}, Families: fastFams,
+		MinObs: 30, CheckEvery: 100, Window: 1200, GridN: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rngutil.Stream(23, 0)
+	if n := len(feed(t, c, synthEvents(r, 300, []float64{4, 2}, 1))); n != 1 {
+		t.Fatalf("bootstrap produced %d decisions, want 1", n)
+	}
+	// Steady traffic: checks run, no drift — the gauges must still be set.
+	feed(t, c, synthEvents(r, 300, []float64{4, 2}, 1))
+
+	snap := reg.Snapshot()
+	var ks, gate, rel []string
+	for name := range snap.Gauges {
+		switch {
+		case strings.HasPrefix(name, "dtr_adapt_drift_ks{"):
+			ks = append(ks, name)
+		case strings.HasPrefix(name, "dtr_adapt_drift_noise_gate{"):
+			gate = append(gate, name)
+		case strings.HasPrefix(name, "dtr_adapt_drift_rel_mean{"):
+			rel = append(rel, name)
+		}
+	}
+	// service[0], service[1] and transfer channels at minimum.
+	if len(ks) < 3 || len(gate) < 3 || len(rel) < 3 {
+		t.Fatalf("drift gauges missing: ks=%v gate=%v rel=%v", ks, gate, rel)
+	}
+	for _, name := range ks {
+		v := snap.Gauges[name]
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %g outside [0,1]", name, v)
+		}
+	}
+	for _, name := range gate {
+		if snap.Gauges[name] <= 0 {
+			t.Errorf("%s = %g, want a positive noise floor", name, snap.Gauges[name])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package direct
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"dtr/internal/gridfn"
+)
+
+// Diagnostics is a point-in-time numerical health snapshot of one
+// solver: the grid geometry, the construction-phase convolution audit,
+// and the worst-case per-fold statistics accumulated over every finish
+// law the solver has built so far. All quantities are error magnitudes
+// (mass that an exact computation would conserve, negative mass an
+// exact computation would never produce, probability truncated at the
+// lattice horizon), so a healthy solve reports values near zero.
+//
+// Collecting diagnostics is bit-neutral: the accumulators observe
+// intermediate values the solver computes anyway, never feed back into
+// results, and for a deterministic evaluation set (every Optimize2
+// sweep) the counts and maxima are themselves deterministic at every
+// worker count — max and count are order-independent reductions.
+type Diagnostics struct {
+	// GridN, Dx and Horizon are the lattice geometry.
+	GridN   int     `json:"gridN"`
+	Dx      float64 `json:"dx"`
+	Horizon float64 `json:"horizon"`
+	// BuildFolds and BuildMassResidualMax audit the construction-phase
+	// prefix chain (the k-fold service-sum tables): folds run and the
+	// worst per-fold probability-mass conservation residual.
+	BuildFolds           int     `json:"buildFolds"`
+	BuildMassResidualMax float64 `json:"buildMassResidualMax"`
+	// BuildNegMassMax is the worst negative round-off mass any
+	// construction fold produced.
+	BuildNegMassMax float64 `json:"buildNegMassMax"`
+	// Folds counts the solve-phase FFT convolutions (finish-law
+	// assembly); MassResidualMax and NegMassMax are the worst per-fold
+	// mass-conservation residual and clamped negative mass among them.
+	Folds           uint64  `json:"folds"`
+	MassResidualMax float64 `json:"massResidualMax"`
+	NegMassMax      float64 `json:"negMassMax"`
+	// TailMassMax is the worst combined finish-law tail mass (the
+	// probability truncated at the horizon) over the evaluated policies.
+	TailMassMax float64 `json:"tailMassMax"`
+	// Evaluations counts finish-pair constructions.
+	Evaluations uint64 `json:"evaluations"`
+}
+
+// maxFloat64 is a lock-free order-independent maximum of non-negative
+// float64 values. The zero value reads as 0 (non-negative float64 bit
+// patterns order like their uint64 bits, so CAS on the bits suffices).
+type maxFloat64 struct{ bits atomic.Uint64 }
+
+func (m *maxFloat64) update(x float64) {
+	if x <= 0 || math.IsNaN(x) {
+		return
+	}
+	b := math.Float64bits(x)
+	for {
+		old := m.bits.Load()
+		if old >= b {
+			return
+		}
+		if m.bits.CompareAndSwap(old, b) {
+			return
+		}
+	}
+}
+
+func (m *maxFloat64) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// noteFold records one solve-phase convolution's audit values and
+// forwards them to the process metrics.
+func (s *Solver) noteFold(residual, negMass float64) {
+	s.folds.Add(1)
+	s.residualMax.update(residual)
+	s.negMassMax.update(negMass)
+	solverFolds.Inc()
+	solverMassResidual.Observe(residual)
+}
+
+// noteFinish records one finish-pair's combined truncated tail mass.
+func (s *Solver) noteFinish(tail float64) {
+	s.evalCount.Add(1)
+	s.tailMax.update(tail)
+	solverTailMass.Observe(tail)
+}
+
+// Diagnostics snapshots the solver's numerical health counters. Safe to
+// call concurrently with solves; a snapshot taken mid-sweep can lag the
+// in-flight fold.
+func (s *Solver) Diagnostics() Diagnostics {
+	return Diagnostics{
+		GridN:                s.n,
+		Dx:                   s.dx,
+		Horizon:              s.Horizon(),
+		BuildFolds:           s.buildMeter.Folds,
+		BuildMassResidualMax: s.buildMeter.MaxResidual,
+		BuildNegMassMax:      s.buildMeter.MaxNegMass,
+		Folds:                s.folds.Load(),
+		MassResidualMax:      s.residualMax.load(),
+		NegMassMax:           s.negMassMax.load(),
+		TailMassMax:          s.tailMax.load(),
+		Evaluations:          s.evalCount.Load(),
+	}
+}
+
+// ProbeResult is one coarse-vs-fine grid-error probe: the three metrics
+// of a policy evaluated on the solver's lattice and on a half-resolution
+// shadow lattice, and the absolute differences. For a discretization
+// whose error shrinks at least linearly in the step, the half-resolution
+// difference upper-bounds the fine lattice's true deviation from the
+// continuum (Richardson's argument: |f_N − f_{N/2}| ≈ (2^p − 1)·e_N ≥
+// e_N for order p ≥ 1), so the Err fields are conservative error
+// estimates for the Fine metrics. Err fields are NaN exactly when the
+// underlying metric is (mean time with failure-prone servers).
+type ProbeResult struct {
+	// CoarseN is the shadow lattice's point count (half resolution at
+	// twice the step, covering the same horizon).
+	CoarseN int
+	// Fine and Coarse are the policy's metrics at the two resolutions.
+	Fine, Coarse Metrics
+	// MeanErr, QoSErr and ReliabilityErr are |Fine − Coarse| per metric.
+	MeanErr, QoSErr, ReliabilityErr float64
+}
+
+// ProbeGridError evaluates the policy's metrics on the solver lattice
+// and on a lazily built half-resolution shadow solver and returns the
+// differences as grid-error estimates. It requires Config.ErrorProbe
+// (the shadow solver costs a second prefix-table construction, paid on
+// the first probe). The probe never feeds back into solver state or
+// results — solves are bit-identical whether or not probes run.
+func (s *Solver) ProbeGridError(m1, m2, l12, l21 int, tm float64) (*ProbeResult, error) {
+	if !s.probeEnabled {
+		return nil, fmt.Errorf("direct: grid-error probe disabled (set Config.ErrorProbe)")
+	}
+	s.probeOnce.Do(func() {
+		coarse, err := NewSolver(s.model, Config{
+			Dx:       2 * s.dx,
+			N:        s.n / 2,
+			MaxQueue: s.maxQueue,
+		})
+		if err != nil {
+			s.probeErr = fmt.Errorf("direct: build probe solver: %w", err)
+			return
+		}
+		coarse.TailCorrect = s.TailCorrect
+		s.probeSolver = coarse
+	})
+	if s.probeErr != nil {
+		return nil, s.probeErr
+	}
+	fine, err := s.All(m1, m2, l12, l21, tm)
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := s.probeSolver.All(m1, m2, l12, l21, tm)
+	if err != nil {
+		return nil, err
+	}
+	pr := &ProbeResult{
+		CoarseN:        s.probeSolver.n,
+		Fine:           fine,
+		Coarse:         coarse,
+		MeanErr:        math.Abs(fine.Mean - coarse.Mean),
+		QoSErr:         math.Abs(fine.QoS - coarse.QoS),
+		ReliabilityErr: math.Abs(fine.Reliability - coarse.Reliability),
+	}
+	probeRuns.Inc()
+	for _, e := range []float64{pr.MeanErr, pr.QoSErr, pr.ReliabilityErr} {
+		if !math.IsNaN(e) {
+			probeError.Observe(e)
+		}
+	}
+	return pr, nil
+}
+
+// buildMeterOf exposes the construction audit for tests.
+func (s *Solver) buildMeterOf() gridfn.Meter { return s.buildMeter }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"dtr/dist"
 	"dtr/internal/core"
@@ -75,6 +76,24 @@ type Solver struct {
 	TailCorrect bool
 
 	span *obs.Span
+
+	// Numerical-health accumulators (see Diagnostics). buildMeter is
+	// written only during construction; the atomics accumulate across
+	// concurrent solve-phase folds with order-independent reductions.
+	buildMeter  gridfn.Meter
+	maxQueue    [2]int
+	folds       atomic.Uint64
+	evalCount   atomic.Uint64
+	residualMax maxFloat64
+	negMassMax  maxFloat64
+	tailMax     maxFloat64
+
+	// Half-resolution shadow solver for grid-error probes, built lazily
+	// on the first ProbeGridError call when Config.ErrorProbe was set.
+	probeEnabled bool
+	probeOnce    sync.Once
+	probeSolver  *Solver
+	probeErr     error
 }
 
 // Config sizes the solver's lattice.
@@ -96,6 +115,11 @@ type Config struct {
 	// "fft" / "transfer_law" children for lazy cache fills. Purely
 	// observational — results are bit-identical with or without it.
 	Span *obs.Span
+	// ErrorProbe enables ProbeGridError: the solver may lazily build a
+	// half-resolution shadow of itself to estimate grid-truncation error.
+	// Off by default because the shadow doubles construction cost on the
+	// first probe. Has no effect on solve results either way.
+	ErrorProbe bool
 }
 
 // NewSolver precomputes the service-sum laws for a two-server model.
@@ -130,20 +154,24 @@ func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
 	}
 
 	s := &Solver{
-		model:       m,
-		dx:          dx,
-		n:           n,
-		fsize:       fft.NextPow2(2*n - 1),
-		zCache:      make(map[[3]int]*gridfn.Lattice),
-		TailCorrect: true,
-		span:        cfg.Span,
+		model:        m,
+		dx:           dx,
+		n:            n,
+		fsize:        fft.NextPow2(2*n - 1),
+		zCache:       make(map[[3]int]*gridfn.Lattice),
+		TailCorrect:  true,
+		span:         cfg.Span,
+		maxQueue:     cfg.MaxQueue,
+		probeEnabled: cfg.ErrorProbe,
 	}
 	build := cfg.Span.Child("solver_build", "grid_n", n, "max_queue_1", cfg.MaxQueue[0], "max_queue_2", cfg.MaxQueue[1])
 	for k := 0; k < 2; k++ {
 		base := gridfn.FromCDF(m.Service[k].CDF, dx, n)
-		s.pre[k] = base.Prefixes(cfg.MaxQueue[k])
+		s.pre[k] = base.PrefixesMetered(cfg.MaxQueue[k], &s.buildMeter)
 		s.preF[k] = make([][]complex128, len(s.pre[k]))
 	}
+	build.SetAttr("build_folds", s.buildMeter.Folds)
+	build.SetAttr("build_mass_residual_max", s.buildMeter.MaxResidual)
 	build.End()
 	return s, nil
 }
@@ -168,7 +196,7 @@ func (s *Solver) freqOf(k, j int) []complex128 {
 		return f
 	}
 	fftMisses.Inc()
-	sp := s.span.Child("fft", "server", k, "fold", j)
+	sp := s.span.Child("fft", "server", k, "fold", j, "prefix_tail", s.pre[k][j].Tail)
 	defer sp.End()
 	buf := make([]complex128, s.fsize)
 	for i, v := range s.pre[k][j].M {
@@ -204,10 +232,11 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 	}
 	fft.Inverse(buf)
 	out := &gridfn.Lattice{Dx: s.dx, M: make([]float64, s.n)}
-	var kept float64
+	var kept, neg float64
 	for i := 0; i < s.n; i++ {
 		v := real(buf[i])
 		if v < 0 {
+			neg -= v
 			v = 0 // FFT round-off
 		}
 		out.M[i] = v
@@ -226,6 +255,15 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 		overflow = 0
 	}
 	out.Tail = overflow + l.Tail*(massP+p.Tail) + p.Tail*massL
+	// Mass-conservation audit: an exact convolution would spread exactly
+	// massL·massP over the full output, so the pre-clamp sum (clamped
+	// part restored, beyond-horizon part included) deviates from it only
+	// by FFT round-off.
+	var rawTail float64
+	for i := s.n; i < s.fsize; i++ {
+		rawTail += real(buf[i])
+	}
+	s.noteFold(math.Abs(kept-neg+rawTail-massL*massP), neg)
 	return out
 }
 
@@ -312,6 +350,7 @@ func (s *Solver) finishPair(m1, m2, l12, l21 int) (f1, f2 *gridfn.Lattice, err e
 	if err != nil {
 		return nil, nil, err
 	}
+	s.noteFinish(f1.Tail + f2.Tail)
 	return f1, f2, nil
 }
 

@@ -18,3 +18,15 @@ var (
 	zDupComputes   = obs.NewCounter("dtr_direct_transfer_cache_dup_computes_total")
 	evals          = obs.NewCounter("dtr_direct_evals_total")
 )
+
+// Solver-health metrics (see Diagnostics): numerical error budgets
+// observed while solving. Residuals and tail masses are probabilities,
+// so the exponential buckets span round-off (~1e-16) up to visibly-broken
+// (~1e-2 residual, ~10% tail).
+var (
+	solverFolds        = obs.NewCounter("dtr_solver_folds_total")
+	solverMassResidual = obs.NewHistogram("dtr_solver_fold_mass_residual", obs.ExpBuckets(1e-16, 10, 14))
+	solverTailMass     = obs.NewHistogram("dtr_solver_tail_mass", obs.ExpBuckets(1e-12, 10, 12))
+	probeRuns          = obs.NewCounter("dtr_solver_probe_runs_total")
+	probeError         = obs.NewHistogram("dtr_solver_probe_error", obs.ExpBuckets(1e-12, 10, 12))
+)

@@ -105,12 +105,55 @@ func (l *Lattice) checkCompat(o *Lattice) {
 	}
 }
 
+// Meter accumulates per-fold numerical audit statistics over a sequence
+// of convolutions: how many folds ran, the worst probability-mass
+// conservation residual (an exact convolution preserves total mass, so
+// |Σ output − massX·massY| is pure FFT round-off), and the worst
+// negative mass produced by round-off. A Meter is plain state — not safe
+// for concurrent use; the callers that meter (solver construction) are
+// serial. Metering is purely observational: metered and unmetered
+// convolutions return bit-identical lattices.
+type Meter struct {
+	// Folds counts metered convolutions.
+	Folds int
+	// MaxResidual is the worst |Σ full − massX·massY| over the folds.
+	MaxResidual float64
+	// SumResidual is the running total of the residuals (SumResidual /
+	// Folds is the average per-fold mass leak).
+	SumResidual float64
+	// MaxNegMass is the worst total negative mass (Σ|min(v, 0)|) any
+	// single fold produced before clamping.
+	MaxNegMass float64
+}
+
+// Observe folds one convolution's statistics into the meter.
+func (m *Meter) Observe(residual, negMass float64) {
+	if m == nil {
+		return
+	}
+	m.Folds++
+	m.SumResidual += residual
+	if residual > m.MaxResidual {
+		m.MaxResidual = residual
+	}
+	if negMass > m.MaxNegMass {
+		m.MaxNegMass = negMass
+	}
+}
+
 // Convolve returns the distribution of X+Y for independent X ~ l, Y ~ o on
 // the same geometry. Mass convolved past the horizon, and all combinations
 // involving either tail, are accumulated into the result's Tail (a sum
 // with a beyond-horizon component is itself beyond horizon, as lattice
 // values are non-negative).
 func (l *Lattice) Convolve(o *Lattice) *Lattice {
+	return l.ConvolveMetered(o, nil)
+}
+
+// ConvolveMetered is Convolve with a numerical audit: when meter is
+// non-nil it records the fold's mass-conservation residual and negative
+// round-off mass. The returned lattice is bit-identical to Convolve's.
+func (l *Lattice) ConvolveMetered(o *Lattice, meter *Meter) *Lattice {
 	l.checkCompat(o)
 	n := len(l.M)
 	full := fft.Convolve(l.M, o.M)
@@ -128,6 +171,16 @@ func (l *Lattice) Convolve(o *Lattice) *Lattice {
 		massO += v
 	}
 	out.Tail = overflow + l.Tail*(massO+o.Tail) + o.Tail*massL
+	if meter != nil {
+		var total, neg float64
+		for _, v := range full {
+			total += v
+			if v < 0 {
+				neg -= v
+			}
+		}
+		meter.Observe(math.Abs(total-massL*massO), neg)
+	}
 	return out
 }
 
@@ -159,10 +212,17 @@ func (l *Lattice) ConvPower(k int) *Lattice {
 // policy-sweep access pattern (the sweep needs the total service time of
 // every possible queue length).
 func (l *Lattice) Prefixes(k int) []*Lattice {
+	return l.PrefixesMetered(k, nil)
+}
+
+// PrefixesMetered is Prefixes with a numerical audit of every fold in
+// the incremental chain (see Meter). The returned lattices are
+// bit-identical to Prefixes'.
+func (l *Lattice) PrefixesMetered(k int, meter *Meter) []*Lattice {
 	out := make([]*Lattice, k+1)
 	out[0] = PointMass(0, l.Dx, len(l.M))
 	for i := 1; i <= k; i++ {
-		out[i] = out[i-1].Convolve(l)
+		out[i] = out[i-1].ConvolveMetered(l, meter)
 	}
 	return out
 }

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"dtr/internal/obs"
+	"dtr/internal/serve"
+)
+
+func TestExemplarsSelection(t *testing.T) {
+	outs := []outcome{
+		{verb: "optimize", code: 200, ms: 5, trace: "aaaa"},
+		{verb: "optimize", code: 200, ms: 50, trace: "bbbb"},
+		{verb: "optimize", code: 200, ms: 40, trace: ""}, // tracing off: never an exemplar
+		{verb: "optimize", code: 504, ms: 45, trace: "cccc"},
+		{verb: "optimize", code: 200, ms: 30, trace: "dddd"},
+		{verb: "optimize", code: 200, ms: 20, trace: "eeee"},
+	}
+
+	// Explicit SLO threshold: only the violators qualify, worst first,
+	// capped at three.
+	ex := exemplars(outs, SLO{P99Ms: 25}, 999)
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	if ex[0].TraceID != "bbbb" || ex[0].Ms != 50 {
+		t.Fatalf("worst exemplar wrong: %+v", ex[0])
+	}
+	if ex[1].TraceID != "cccc" || ex[1].Code != 504 {
+		t.Fatalf("second exemplar wrong: %+v", ex[1])
+	}
+	if ex[2].TraceID != "dddd" {
+		t.Fatalf("third exemplar wrong: %+v", ex[2])
+	}
+
+	// No SLO: fall back to the measured p99 — the worst request always
+	// qualifies.
+	ex = exemplars(outs, SLO{}, 50)
+	if len(ex) != 1 || ex[0].TraceID != "bbbb" {
+		t.Fatalf("p99 fallback wrong: %+v", ex)
+	}
+
+	// Nothing above the bar → no exemplars section at all.
+	if ex := exemplars(outs, SLO{P99Ms: 100}, 0); ex != nil {
+		t.Fatalf("expected none, got %+v", ex)
+	}
+}
+
+// TestRunCapturesExemplars: against a traced service every answer echoes
+// a traceparent, so each (level, verb) cell must surface its worst-case
+// trace IDs, joinable to the daemon's /debug/requests ring.
+func TestRunCapturesExemplars(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{})
+	svc := serve.New(serve.Config{Workers: 2, Tracer: tracer})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Spec:     json.RawMessage(reliableSpec),
+		Verbs:    []string{"optimize"},
+		RPS:      []float64{30},
+		Duration: 300 * time.Millisecond,
+		Grid:     256,
+		SLO:      SLO{MaxErrorRate: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	for _, lvl := range rep.Levels {
+		for _, vs := range lvl.Verbs {
+			if len(vs.Exemplars) == 0 {
+				t.Fatalf("level %g verb %s: no exemplars despite tracing", lvl.RPS, vs.Verb)
+			}
+			for _, ex := range vs.Exemplars {
+				if !traceID.MatchString(ex.TraceID) {
+					t.Errorf("exemplar trace %q is not a trace ID", ex.TraceID)
+				}
+				if ex.Ms < vs.P99Ms {
+					t.Errorf("exemplar %.2fms below the p99 bar %.2fms", ex.Ms, vs.P99Ms)
+				}
+			}
+		}
+	}
+
+	// The report must survive a JSON round trip with exemplars intact.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Levels[0].Verbs[0].Exemplars) != len(rep.Levels[0].Verbs[0].Exemplars) {
+		t.Fatal("exemplars lost in the JSON round trip")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dtr/internal/obs"
 )
 
 // ReportSchema versions the BENCH_serve.json document.
@@ -83,6 +85,19 @@ type VerbStats struct {
 	RejectRate float64 `json:"rejectRate"`
 	// SLOPass reports this cell against the configured SLO.
 	SLOPass bool `json:"sloPass"`
+	// Exemplars are the slowest SLO-threatening requests of this cell
+	// whose responses carried a traceparent, worst first (at most 3).
+	// Their trace IDs join against the server's /debug/requests ring and
+	// trace JSONL export, so a bad p99 in the report leads straight to
+	// the span tree that produced it.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Exemplar identifies one slow request by its server-echoed trace ID.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Ms      float64 `json:"ms"`
+	Code    int     `json:"code"`
 }
 
 // LevelReport is one rate level's outcome.
@@ -106,9 +121,10 @@ type Report struct {
 
 // outcome is one finished request.
 type outcome struct {
-	verb string
-	code int // 0 = transport failure
-	ms   float64
+	verb  string
+	code  int // 0 = transport failure
+	ms    float64
+	trace string // server-echoed trace ID ("" = tracing off / no answer)
 }
 
 // Run executes the configured schedule and returns the report. Context
@@ -226,7 +242,13 @@ func issue(ctx context.Context, client *http.Client, cfg *Config, verb string, v
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	return outcome{verb: verb, code: resp.StatusCode, ms: time.Since(t0).Seconds() * 1e3}
+	o := outcome{verb: verb, code: resp.StatusCode, ms: time.Since(t0).Seconds() * 1e3}
+	// The server echoes its root span's traceparent when tracing is on;
+	// keep the trace ID so slow requests are joinable to /debug/requests.
+	if tid, _, ok := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); ok {
+		o.trace = tid.String()
+	}
+	return o
 }
 
 // request builds the verb's body for one variant. Variants spread the
@@ -303,7 +325,38 @@ func summarize(verb string, outs []outcome, slo SLO) VerbStats {
 	if slo.MaxRejectRate > 0 && vs.RejectRate > slo.MaxRejectRate {
 		vs.SLOPass = false
 	}
+	vs.Exemplars = exemplars(outs, slo, vs.P99Ms)
 	return vs
+}
+
+// exemplars picks the worst traced requests at or above the SLO p99
+// threshold (the measured p99 when no SLO is declared): the concrete
+// trace IDs behind the cell's tail latency.
+func exemplars(outs []outcome, slo SLO, p99 float64) []Exemplar {
+	thr := slo.P99Ms
+	if thr <= 0 {
+		thr = p99
+	}
+	var cand []outcome
+	for _, o := range outs {
+		if o.trace != "" && o.ms >= thr {
+			cand = append(cand, o)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].ms != cand[j].ms {
+			return cand[i].ms > cand[j].ms
+		}
+		return cand[i].trace < cand[j].trace
+	})
+	if len(cand) > 3 {
+		cand = cand[:3]
+	}
+	var ex []Exemplar
+	for _, o := range cand {
+		ex = append(ex, Exemplar{TraceID: o.trace, Ms: o.ms, Code: o.code})
+	}
+	return ex
 }
 
 // quantile reads the q-quantile from a sorted sample (nearest-rank).

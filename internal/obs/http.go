@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 )
 
@@ -41,22 +42,84 @@ func publishExpvar() {
 // Register mounts the full exposition surface for r on mux: /metrics
 // (Prometheus text), /metrics.json (Snapshot JSON), /debug/vars
 // (expvar), /debug/requests (the default tracer's recent/slowest trace
-// trees — empty JSON when tracing is off) and — when withPProf — the
-// net/http/pprof handlers under /debug/pprof/. Long-running daemons use
-// it to share one mux between their API and their telemetry; Serve and
-// the CLIs route through it too.
+// trees — empty JSON when tracing is off), /debug/solver (the
+// solver-health subset of the registry, summarized) and — when withPProf
+// — the net/http/pprof handlers under /debug/pprof/. Long-running
+// daemons use it to share one mux between their API and their telemetry;
+// Serve and the CLIs route through it too.
 func Register(mux *http.ServeMux, r *Registry, withPProf bool) {
 	publishExpvar()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/metrics.json", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/requests", handleRequests)
+	mux.HandleFunc("/debug/solver", handleSolver(r))
 	if withPProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// solverPrefixes selects the metric families /debug/solver summarizes:
+// numerical solver health plus the policy-search and drift-detector
+// telemetry that interprets it.
+var solverPrefixes = []string{"dtr_solver_", "dtr_direct_", "dtr_policy_", "dtr_adapt_"}
+
+// handleSolver returns the /debug/solver handler: a compact JSON rollup
+// of the solver-health metrics — counters and gauges verbatim,
+// histograms reduced to {count, mean, p50, p99} — so a human (or a
+// runbook) can read one document instead of scraping /metrics.
+func handleSolver(r *Registry) http.HandlerFunc {
+	matches := func(name string) bool {
+		for _, p := range solverPrefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	type histSummary struct {
+		Count uint64  `json:"count"`
+		Mean  float64 `json:"mean"`
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		out := struct {
+			Counters   map[string]uint64      `json:"counters"`
+			Gauges     map[string]float64     `json:"gauges"`
+			Histograms map[string]histSummary `json:"histograms"`
+		}{
+			Counters:   map[string]uint64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]histSummary{},
+		}
+		for name, v := range snap.Counters {
+			if matches(name) {
+				out.Counters[name] = v
+			}
+		}
+		for name, v := range snap.Gauges {
+			if matches(name) {
+				out.Gauges[name] = v
+			}
+		}
+		for name, h := range snap.Histograms {
+			if matches(name) {
+				out.Histograms[name] = histSummary{
+					Count: h.Count, Mean: h.Mean(),
+					P50: h.Quantile(0.5), P99: h.Quantile(0.99),
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
 	}
 }
 

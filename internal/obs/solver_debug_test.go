@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDebugSolver exercises the /debug/solver rollup: solver-health
+// metrics in, everything else filtered out, histograms reduced to
+// {count, mean, p50, p99}.
+func TestDebugSolver(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dtr_solver_folds_total").Add(42)
+	r.Gauge("dtr_policy_sweep_coverage").Set(0.25)
+	r.Gauge(Name("dtr_adapt_drift_ks", "channel", "service1")).Set(0.07)
+	h := r.Histogram("dtr_solver_fold_mass_residual", ExpBuckets(1e-16, 10, 14))
+	h.Observe(1e-12)
+	h.Observe(1e-10)
+	// Out-of-scope families must not leak into the rollup.
+	r.Counter("dtr_serve_requests_total").Add(9)
+	r.Gauge("dtr_serve_inflight").Set(3)
+
+	mux := http.NewServeMux()
+	Register(mux, r, false)
+	req := httptest.NewRequest("GET", "/debug/solver", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/solver: code %d", rec.Code)
+	}
+
+	var out struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Histos   map[string]struct {
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/debug/solver invalid JSON: %v\n%s", err, rec.Body)
+	}
+	if out.Counters["dtr_solver_folds_total"] != 42 {
+		t.Fatalf("counters = %v", out.Counters)
+	}
+	if out.Gauges["dtr_policy_sweep_coverage"] != 0.25 {
+		t.Fatalf("gauges = %v", out.Gauges)
+	}
+	if out.Gauges[Name("dtr_adapt_drift_ks", "channel", "service1")] != 0.07 {
+		t.Fatalf("labelled drift gauge missing: %v", out.Gauges)
+	}
+	hs, ok := out.Histos["dtr_solver_fold_mass_residual"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("histograms = %v", out.Histos)
+	}
+	if hs.P99 < hs.P50 || hs.Mean <= 0 {
+		t.Fatalf("summary implausible: %+v", hs)
+	}
+	if _, leaked := out.Counters["dtr_serve_requests_total"]; leaked {
+		t.Fatal("serve metric leaked into /debug/solver")
+	}
+	if _, leaked := out.Gauges["dtr_serve_inflight"]; leaked {
+		t.Fatal("serve gauge leaked into /debug/solver")
+	}
+}

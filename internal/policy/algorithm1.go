@@ -40,6 +40,51 @@ type Alg1Options struct {
 	// "algorithm1" span with an "alg1_row" child per refined server row
 	// (rows attach concurrently; the span's child list is thread-safe).
 	Span *obs.Span
+	// Diag, when non-nil, is filled with per-row convergence history.
+	// Purely observational — the returned policy is bit-identical with
+	// or without it.
+	Diag *Alg1Diagnostics
+}
+
+// Alg1SweepDiag is one Gauss–Seidel sweep of one server row: the largest
+// single-entry plan change the sweep made (0 means the row reached its
+// fixed point on this sweep) and the summed pairwise objective values of
+// the sweep's two-server solves (direction depends on the objective:
+// mean time falls as the row improves, QoS/reliability rise).
+type Alg1SweepDiag struct {
+	MaxDelta  int     `json:"maxDelta"`
+	Objective float64 `json:"objective"`
+}
+
+// Alg1RowDiag is the convergence history of one active server row.
+type Alg1RowDiag struct {
+	// Server is the row's index in the model.
+	Server int `json:"server"`
+	// Candidates counts the recipients eq. (5) assigned the row.
+	Candidates int `json:"candidates"`
+	// Iterations is the number of sweeps run (≤ K).
+	Iterations int `json:"iterations"`
+	// Converged reports a fixed point within K sweeps; false means the
+	// row was capped and the plan may still have been moving.
+	Converged bool `json:"converged"`
+	// Trimmed counts tasks removed by the final feasibility trim.
+	Trimmed int `json:"trimmed"`
+	// Sweeps is the per-sweep history, oldest first.
+	Sweeps []Alg1SweepDiag `json:"sweeps"`
+}
+
+// Alg1Diagnostics is the convergence record of one Algorithm-1 run.
+type Alg1Diagnostics struct {
+	Servers int `json:"servers"`
+	// K is the iteration cap in force.
+	K int `json:"k"`
+	// Converged and Capped partition the active rows by outcome.
+	Converged int `json:"converged"`
+	Capped    int `json:"capped"`
+	// PairSolves counts two-server Optimize2 runs across all rows.
+	PairSolves uint64 `json:"pairSolves"`
+	// Rows holds the active rows' histories in server order.
+	Rows []Alg1RowDiag `json:"rows"`
 }
 
 // Algorithm1 computes the multi-server DTR policy of the paper's
@@ -79,13 +124,21 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 	defer obs.StartSpan("solve", "algo", "algorithm1", "servers", n, "objective", opt.Objective.String())()
 	algSpan := opt.Span.Child("algorithm1", "servers", n, "objective", opt.Objective.String())
 	defer algSpan.End()
-	var iters, pairSolves, converged atomic.Uint64
+	var iters, pairSolves, converged, capped atomic.Uint64
 	defer func() {
 		alg1Runs.Inc()
 		alg1Iters.Add(iters.Load())
 		alg1PairSolves.Add(pairSolves.Load())
 		alg1Converged.Add(converged.Load())
+		alg1Capped.Add(capped.Load())
 	}()
+
+	// rows[i] is written only by row i's refinement, so the concurrent
+	// sweep needs no extra locking for the diagnostics either.
+	var rows []Alg1RowDiag
+	if opt.Diag != nil {
+		rows = make([]Alg1RowDiag, n)
+	}
 
 	initial, err := InitialPolicy(queues, lambda)
 	if err != nil {
@@ -117,9 +170,23 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		}
 		rowSpan := algSpan.Child("alg1_row", "server", i, "candidates", len(candidates))
 		rowIters := 0
+		rowConverged := false
+		rowTrimmed := 0
+		var sweeps []Alg1SweepDiag
 		defer func() {
 			rowSpan.SetAttr("iterations", rowIters)
+			rowSpan.SetAttr("converged", rowConverged)
 			rowSpan.End()
+			if rows != nil {
+				rows[i] = Alg1RowDiag{
+					Server:     i,
+					Candidates: len(candidates),
+					Iterations: rowIters,
+					Converged:  rowConverged,
+					Trimmed:    rowTrimmed,
+					Sweeps:     sweeps,
+				}
+			}
 		}()
 		solvers := make(map[int]*direct.Solver)
 		pairSolver := func(j int) (*direct.Solver, error) {
@@ -147,6 +214,7 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		for k := 1; k <= opt.K; k++ {
 			iters.Add(1)
 			rowIters++
+			sweepObj := 0.0
 			for _, j := range candidates {
 				// Tasks still planned for other recipients are assumed
 				// gone when solving against j.
@@ -172,19 +240,31 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 					return err
 				}
 				pairSolves.Add(1)
+				sweepObj += res.Value
 				l[i][j] = res.L12
 			}
-			fixed := true
+			maxDelta := 0
 			for _, j := range candidates {
-				if l[i][j] != prev[j] {
-					fixed = false
+				d := l[i][j] - prev[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDelta {
+					maxDelta = d
 				}
 			}
-			if fixed {
+			if rows != nil {
+				sweeps = append(sweeps, Alg1SweepDiag{MaxDelta: maxDelta, Objective: sweepObj})
+			}
+			if maxDelta == 0 {
+				rowConverged = true
 				converged.Add(1)
 				break
 			}
 			copy(prev, l[i])
+		}
+		if !rowConverged {
+			capped.Add(1)
 		}
 		// Feasibility: never ship more than the queue holds (possible if
 		// pairwise optima overlap); trim proportionally from the largest.
@@ -201,6 +281,7 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 			}
 			l[i][maxJ]--
 			total--
+			rowTrimmed++
 		}
 		return nil
 	}
@@ -208,6 +289,22 @@ func Algorithm1(m *core.Model, queues []int, opt Alg1Options) (core.Policy, erro
 		return refineRow(i)
 	}); err != nil {
 		return nil, err
+	}
+
+	if opt.Diag != nil {
+		d := Alg1Diagnostics{
+			Servers:    n,
+			K:          opt.K,
+			Converged:  int(converged.Load()),
+			Capped:     int(capped.Load()),
+			PairSolves: pairSolves.Load(),
+		}
+		for _, r := range rows {
+			if r.Candidates > 0 {
+				d.Rows = append(d.Rows, r)
+			}
+		}
+		*opt.Diag = d
 	}
 
 	out := core.NewPolicy(n)

@@ -5,12 +5,19 @@ import "dtr/internal/obs"
 // Policy-search observability: Algorithm-1 refinement behaviour
 // (iterations until fixed point, pairwise two-server solves) and the
 // exhaustive/coarse-to-fine sweep volume behind the figure generators.
+// alg1Converged/alg1Capped partition refined rows by outcome: capped
+// rows exhausted K sweeps while the plan was still moving, so their
+// policies are best-effort, not fixed points — the solver-health
+// dashboard alerts when capped outpaces converged. sweepCoverage is the
+// evaluated fraction of the last sweep's feasible lattice.
 var (
 	alg1Runs       = obs.NewCounter("dtr_policy_alg1_runs_total")
 	alg1Iters      = obs.NewCounter("dtr_policy_alg1_iterations_total")
 	alg1Converged  = obs.NewCounter("dtr_policy_alg1_converged_total")
+	alg1Capped     = obs.NewCounter("dtr_policy_alg1_capped_total")
 	alg1PairSolves = obs.NewCounter("dtr_policy_alg1_pair_solves_total")
 	sweepEvals     = obs.NewCounter("dtr_policy_sweep_evaluations_total")
 	sweepRuns      = obs.NewCounter("dtr_policy_sweeps_total")
 	sweepBatches   = obs.NewCounter("dtr_policy_sweep_batches_total")
+	sweepCoverage  = obs.NewGauge("dtr_policy_sweep_coverage")
 )

@@ -92,6 +92,29 @@ type Options2 struct {
 	// "optimize2" span with a "sweep" child per evaluated batch. Purely
 	// observational — see the bit-identity guard in the tests.
 	Span *obs.Span
+	// Diag, when non-nil, is filled with lattice-coverage statistics for
+	// the search. Purely observational — the Result2 is bit-identical
+	// with or without it.
+	Diag *SweepDiagnostics
+}
+
+// SweepDiagnostics describes how much of the feasible policy lattice an
+// Optimize2 run actually evaluated. Coverage near 1 on a non-exhaustive
+// run means the coarse-to-fine heuristic degenerated to a full scan;
+// coverage near 0 on large lattices is the intended behaviour — but only
+// trustworthy while the metrics stay smooth in the policy, which is what
+// the grid-error probe (direct.ProbeGridError) cross-checks.
+type SweepDiagnostics struct {
+	// Feasible is the full lattice size (m1+1)·(m2+1).
+	Feasible int `json:"feasible"`
+	// Evaluated counts distinct policies actually solved.
+	Evaluated int `json:"evaluated"`
+	// Batches counts evaluation rounds (coarse, refinements, polish).
+	Batches int `json:"batches"`
+	// Coverage is Evaluated/Feasible.
+	Coverage float64 `json:"coverage"`
+	// Exhaustive records whether the full-lattice mode was forced.
+	Exhaustive bool `json:"exhaustive"`
 }
 
 // evaluate computes the objective for one policy.
@@ -150,6 +173,7 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 			return Result2{}, err
 		}
 		sw.best.Evaluations = sw.evals
+		sw.fillDiag(opt.Diag, true)
 		return sw.best, nil
 	}
 
@@ -204,7 +228,31 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 		improved = sw.best != prev
 	}
 	sw.best.Evaluations = sw.evals
+	sw.fillDiag(opt.Diag, false)
 	return sw.best, nil
+}
+
+// fillDiag publishes the sweep's coverage statistics: into the caller's
+// Diagnostics value when requested, and onto the coverage gauge always
+// (the gauge is a no-op until a metrics registry is installed).
+func (sw *sweep2) fillDiag(d *SweepDiagnostics, exhaustive bool) {
+	feasible := (sw.m1 + 1) * (sw.m2 + 1)
+	coverage := 0.0
+	if feasible > 0 {
+		coverage = float64(sw.evals) / float64(feasible)
+	}
+	sweepCoverage.Set(coverage)
+	sw.span.SetAttr("coverage", coverage)
+	if d == nil {
+		return
+	}
+	*d = SweepDiagnostics{
+		Feasible:   feasible,
+		Evaluated:  sw.evals,
+		Batches:    sw.batches,
+		Coverage:   coverage,
+		Exhaustive: exhaustive,
+	}
 }
 
 // sweep2 is the state of one Optimize2 run: candidate filtering and
@@ -219,6 +267,7 @@ type sweep2 struct {
 	seen     map[[2]int]bool
 	best     Result2
 	evals    int
+	batches  int
 	span     *obs.Span // "optimize2" trace span (nil = untraced)
 
 	cand [][2]int  // candidate scratch, reused across batches
@@ -255,6 +304,7 @@ func (sw *sweep2) tryAll(pts [][2]int) error {
 	}
 	vals := sw.vals[:len(cand)]
 	sweepBatches.Inc()
+	sw.batches++
 	batchSpan := sw.span.Child("sweep", "batch", len(cand))
 	defer batchSpan.End()
 	instrumented := obs.Default() != nil

@@ -97,8 +97,21 @@ func compute(pr *parsedRequest, workers int, span *obs.Span) (any, error) {
 		return computeBounds(sys, pr)
 	case "cdf":
 		return computeCDF(sys, pr)
+	case "explain":
+		return computeExplain(sys, pr)
 	}
 	return nil, fmt.Errorf("serve: unknown verb %q", pr.verb)
+}
+
+// computeExplain returns the versioned explain artifact verbatim: the
+// schema is owned by package dtr so dtrplan -explain and /v1/explain
+// emit identical documents for identical inputs.
+func computeExplain(sys *dtr.System, pr *parsedRequest) (any, error) {
+	return sys.Explain(dtr.ExplainOptions{
+		Objective: pr.opts.Objective,
+		Deadline:  pr.opts.Deadline,
+		Probe:     pr.opts.Probe,
+	})
 }
 
 func computeOptimize(sys *dtr.System, pr *parsedRequest) (any, error) {

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dtr"
+)
+
+// TestExplainEndpoint: /v1/explain must answer the versioned artifact
+// whose policy agrees with /v1/optimize on the same spec.
+func TestExplainEndpoint(t *testing.T) {
+	_, reg, ts := newTestService(t, Config{Workers: 2})
+
+	code, body := post(t, ts, "/v1/explain", reqBody(specJSON, `"grid": 512, "probe": true`))
+	if code != http.StatusOK {
+		t.Fatalf("explain answered %d: %s", code, body)
+	}
+	var ex dtr.Explain
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatalf("explain body is not an artifact: %v\n%s", err, body)
+	}
+	if ex.Schema != dtr.ExplainSchema {
+		t.Fatalf("schema %q, want %q", ex.Schema, dtr.ExplainSchema)
+	}
+	if ex.Solver == nil || ex.Sweep == nil || ex.Probe == nil {
+		t.Fatalf("artifact missing diagnostics sections: %s", body)
+	}
+	if ex.Solver.GridN != 512 {
+		t.Fatalf("solver gridN %d, want the requested 512", ex.Solver.GridN)
+	}
+
+	code, optBody := post(t, ts, "/v1/optimize", reqBody(specJSON, `"grid": 512`))
+	if code != http.StatusOK {
+		t.Fatalf("optimize answered %d: %s", code, optBody)
+	}
+	var opt OptimizeResponse
+	if err := json.Unmarshal(optBody, &opt); err != nil {
+		t.Fatal(err)
+	}
+	if ex.PolicyString != opt.Policy {
+		t.Fatalf("explain policy %q != optimize policy %q", ex.PolicyString, opt.Policy)
+	}
+	if ex.Value == nil {
+		t.Fatalf("explain value missing: %s", body)
+	}
+	if *ex.Value != float64(opt.Value) {
+		t.Fatalf("explain value %v != optimize value %v", *ex.Value, float64(opt.Value))
+	}
+
+	// Explain flows through the shared verb pipeline: cache + verb metrics.
+	code2, body2 := post(t, ts, "/v1/explain", reqBody(specJSON, `"grid": 512, "probe": true`))
+	if code2 != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("repeat explain not byte-identical (code %d)", code2)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`dtr_serve_verb_requests_total{verb="explain",code="200"}`]; got != 2 {
+		t.Fatalf("explain verb counter = %d, want 2", got)
+	}
+	if snap.Counters["dtr_serve_cache_hits_total"] == 0 {
+		t.Fatal("repeat explain did not hit the cache")
+	}
+}
+
+// TestExplainValidation: explain inherits optimize's request validation.
+func TestExplainValidation(t *testing.T) {
+	_, _, ts := newTestService(t, Config{Workers: 1})
+
+	if code, body := post(t, ts, "/v1/explain", reqBody(specJSON, `"grid": 512, "objective": "qos"`)); code != http.StatusBadRequest {
+		t.Fatalf("qos without deadline answered %d: %s", code, body)
+	}
+	if code, body := post(t, ts, "/v1/explain", reqBody(failSpecJSON, `"grid": 512, "objective": "mean"`)); code != http.StatusBadRequest {
+		t.Fatalf("mean on unreliable servers answered %d: %s", code, body)
+	}
+	// Multi-server explain runs Algorithm 1 and reports its telemetry.
+	code, body := post(t, ts, "/v1/explain", reqBody(multiSpecJSON, ""))
+	if code != http.StatusOK {
+		t.Fatalf("multi-server explain answered %d: %s", code, body)
+	}
+	var ex dtr.Explain
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Servers != 3 || ex.Algorithm1 == nil {
+		t.Fatalf("multi-server artifact wrong: %s", body)
+	}
+}
+
+// TestExplainBitNeutral is the diagnostics analogue of
+// TestTracingBitIdentity: running the self-auditing explain verb (with
+// the grid-error probe) must not perturb any other answer the service
+// produces, and explain itself must answer identically on a service that
+// has already served unrelated traffic.
+func TestExplainBitNeutral(t *testing.T) {
+	_, _, plain := newTestService(t, Config{Workers: 2, CacheSize: -1})
+	_, _, mixed := newTestService(t, Config{Workers: 2, CacheSize: -1})
+
+	explainReq := reqBody(specJSON, `"grid": 512, "probe": true`)
+	requests := []struct{ path, body string }{
+		{"/v1/optimize", reqBody(specJSON, `"grid": 512`)},
+		{"/v1/metrics", reqBody(specJSON, `"grid": 512, "policy": "0>1:2", "deadline": 40`)},
+		{"/v1/simulate", reqBody(specJSON, `"policy": "0>1:2", "reps": 2000, "seed": 7`)},
+		{"/v1/cdf", reqBody(specJSON, `"grid": 512, "policy": "0>1:2", "points": 5`)},
+	}
+
+	// Interleave explain calls on the mixed service only.
+	var explainBodies [][]byte
+	for _, rq := range requests {
+		codeE, bodyE := post(t, mixed, "/v1/explain", explainReq)
+		if codeE != http.StatusOK {
+			t.Fatalf("explain answered %d: %s", codeE, bodyE)
+		}
+		explainBodies = append(explainBodies, bodyE)
+
+		codeA, bodyA := post(t, plain, rq.path, rq.body)
+		codeB, bodyB := post(t, mixed, rq.path, rq.body)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: codes %d/%d: %s %s", rq.path, codeA, codeB, bodyA, bodyB)
+		}
+		if !bytes.Equal(bodyA, bodyB) {
+			t.Errorf("%s: body differs after explain traffic:\n  plain: %s\n  mixed: %s", rq.path, bodyA, bodyB)
+		}
+	}
+	// Every explain answer must be byte-identical regardless of the
+	// unrelated traffic interleaved between them (cache disabled, so
+	// each is a fresh solve).
+	for i := 1; i < len(explainBodies); i++ {
+		if !bytes.Equal(explainBodies[0], explainBodies[i]) {
+			t.Errorf("explain answer %d differs from the first:\n  first: %s\n  later: %s",
+				i, explainBodies[0], explainBodies[i])
+		}
+	}
+
+	// And a fresh service answers explain identically to the mixed one.
+	codeF, bodyF := post(t, plain, "/v1/explain", explainReq)
+	if codeF != http.StatusOK {
+		t.Fatalf("explain answered %d: %s", codeF, bodyF)
+	}
+	if !bytes.Equal(bodyF, explainBodies[0]) {
+		t.Errorf("explain differs between fresh and warmed services:\n  fresh:  %s\n  warmed: %s",
+			bodyF, explainBodies[0])
+	}
+}

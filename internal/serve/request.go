@@ -20,6 +20,7 @@ import (
 //	simulate  policy, reps, seed, deadline
 //	bounds    grid, policy, deadline
 //	cdf       grid, policy, points, tmax
+//	explain   grid, objective (mean|qos|reliability), deadline, probe
 //
 // timeoutMs bounds how long this caller waits for the result; the server
 // clamps it to its -timeout flag.
@@ -33,6 +34,7 @@ type Request struct {
 	Seed      uint64          `json:"seed,omitempty"`
 	Points    int             `json:"points,omitempty"`
 	Tmax      float64         `json:"tmax,omitempty"`
+	Probe     bool            `json:"probe,omitempty"`
 	TimeoutMS int             `json:"timeoutMs,omitempty"`
 }
 
@@ -68,6 +70,7 @@ type canonOpts struct {
 	Seed      uint64  `json:"seed,omitempty"`
 	Points    int     `json:"points,omitempty"`
 	Tmax      float64 `json:"tmax,omitempty"`
+	Probe     bool    `json:"probe,omitempty"`
 }
 
 // parsedRequest is a fully validated request, ready to compute: the spec
@@ -140,7 +143,7 @@ func parseRequest(verb string, req *Request) (*parsedRequest, error) {
 	}
 
 	switch verb {
-	case "optimize":
+	case "optimize", "explain":
 		obj := req.Objective
 		if obj == "" {
 			obj = "mean"
@@ -160,6 +163,9 @@ func parseRequest(verb string, req *Request) (*parsedRequest, error) {
 			return nil, badRequestf("objective: unknown objective %q", req.Objective)
 		}
 		pr.opts.Objective = obj
+		if verb == "explain" {
+			pr.opts.Probe = req.Probe
+		}
 	case "metrics":
 		if err := needTwoServer(); err != nil {
 			return nil, err

@@ -18,9 +18,10 @@
 //     on an internal/obs registry, exposable on the same mux.
 //
 // Endpoints: POST /v1/optimize, /v1/metrics, /v1/simulate, /v1/bounds,
-// /v1/cdf, /v1/batch, /v1/fit, plus GET /healthz. Once StartDrain is
-// called (the daemon wires it to graceful shutdown) /healthz flips to
-// 503 so load balancers stop routing to a terminating instance.
+// /v1/cdf, /v1/explain, /v1/batch, /v1/fit, plus GET /healthz. Once
+// StartDrain is called (the daemon wires it to graceful shutdown)
+// /healthz flips to 503 so load balancers stop routing to a terminating
+// instance.
 package serve
 
 import (
@@ -82,7 +83,7 @@ type Service struct {
 
 // Verbs lists the planning verbs served under /v1/, in registration
 // order.
-var Verbs = []string{"optimize", "metrics", "simulate", "bounds", "cdf"}
+var Verbs = []string{"optimize", "metrics", "simulate", "bounds", "cdf", "explain"}
 
 // New builds a Service from cfg, applying defaults.
 func New(cfg Config) *Service {

@@ -2,7 +2,9 @@
 # Smoke test for cmd/dtrload: boot dtrserved on a random port, replay an
 # optimize+metrics mix at two request rates, and require a clean
 # BENCH_serve.json (no transport errors or 5xx). Used by
-# `make load-smoke`; set LOAD_SMOKE_OUT to keep the report.
+# `make load-smoke`; set LOAD_SMOKE_OUT to keep the report and
+# LOAD_SMOKE_TRACE_OUT to keep the daemon's trace JSONL (which the
+# report's exemplar trace IDs join against).
 set -eu
 
 GO=${GO:-go}
@@ -12,6 +14,7 @@ load="$workdir/dtrload"
 addrfile="$workdir/addr"
 logfile="$workdir/daemon.log"
 out=${LOAD_SMOKE_OUT:-$workdir/BENCH_serve.json}
+trace_out=${LOAD_SMOKE_TRACE_OUT:-}
 
 cleanup() {
     status=$?
@@ -32,7 +35,11 @@ echo "load-smoke: building dtrserved and dtrload"
 $GO build -o "$served" ./cmd/dtrserved
 $GO build -o "$load" ./cmd/dtrload
 
-"$served" -addr 127.0.0.1:0 -addr-file "$addrfile" >"$logfile" 2>&1 &
+set -- -addr 127.0.0.1:0 -addr-file "$addrfile"
+if [ -n "$trace_out" ]; then
+    set -- "$@" -trace-out "$trace_out"
+fi
+"$served" "$@" >"$logfile" 2>&1 &
 srv_pid=$!
 
 i=0

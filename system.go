@@ -60,6 +60,12 @@ type System struct {
 	GridN   int
 	Horizon float64
 
+	// ErrorProbe enables the solver's half-resolution grid-error probe
+	// (see Explain / direct.Config.ErrorProbe). It must be set before
+	// the first analytic call, which lazily builds the solver; results
+	// are bit-identical either way.
+	ErrorProbe bool
+
 	// Workers shards the policy sweeps, Algorithm-1 refinement rows and
 	// (when SimOptions.Workers is unset) Monte-Carlo replications over a
 	// worker pool (0 = GOMAXPROCS). Results are bit-identical at every
@@ -106,10 +112,11 @@ func (s *System) directSolver() (*direct.Solver, error) {
 	if s.solver == nil {
 		maxQ := s.initial[0] + s.initial[1]
 		sv, err := direct.NewSolver(s.model, direct.Config{
-			N:        s.GridN,
-			Horizon:  s.Horizon,
-			MaxQueue: [2]int{maxQ, maxQ},
-			Span:     s.Span,
+			N:          s.GridN,
+			Horizon:    s.Horizon,
+			MaxQueue:   [2]int{maxQ, maxQ},
+			Span:       s.Span,
+			ErrorProbe: s.ErrorProbe,
 		})
 		if err != nil {
 			return nil, err
