@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke load-smoke clean
+.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke load-smoke replicate-smoke clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./internal/load ./dist/fit
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./internal/load ./dist ./dist/fit ./modelspec
 
 # Boot dtrserved on a random port, drive every endpoint plus a /metrics
 # scrape, and verify a clean SIGTERM drain.
@@ -35,6 +35,11 @@ adapt-smoke:
 # with dtrload, and validate the resulting BENCH_serve.json.
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# Run the straggler replication demo and drive the joint
+# reallocation+replication search through dtrplan's -replicate-max flags.
+replicate-smoke:
+	sh scripts/replicate_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -124,11 +124,26 @@ func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 	deadline := fs.Float64("deadline", 0, "deadline for -objective qos")
 	explainPath := fs.String("explain", "", "write the explain artifact (winning policy + solver diagnostics, JSON) to this path; \"-\" emits it on stdout instead of the summary")
 	probe := fs.Bool("probe", false, "with -explain: estimate grid-truncation error via a half-resolution probe (two-server systems)")
+	replMax := fs.Int("replicate-max", 1, "search replication factors up to this cap (each task may run as up to k cancel-on-first-complete copies; 1 = no replication)")
+	replBudget := fs.Int("replicate-budget", 0, "cap on total extra copies across the plan (0 = unconstrained; needs -replicate-max > 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *replMax < 1 {
+		return fmt.Errorf("-replicate-max must be at least 1, got %d", *replMax)
+	}
+	if *replBudget < 0 {
+		return fmt.Errorf("-replicate-budget must be non-negative, got %d", *replBudget)
+	}
+	var repl *dtr.ReplicationConfig
+	if *replMax > 1 {
+		repl = &dtr.ReplicationConfig{MaxFactor: *replMax, Budget: *replBudget}
+	}
 	if *explainPath != "" {
-		return optimizeExplain(sys, *objective, *deadline, *probe, *explainPath, out)
+		return optimizeExplain(sys, *objective, *deadline, *probe, repl, *explainPath, out)
+	}
+	if repl != nil {
+		return optimizeReplicated(sys, *objective, *deadline, repl, out)
 	}
 	var (
 		pol   dtr.Policy
@@ -158,12 +173,58 @@ func cmdOptimize(sys *dtr.System, args []string, out *os.File) error {
 	return nil
 }
 
+// planObjective maps an objective name onto the policy enum.
+func planObjective(name string) (dtr.Objective, error) {
+	switch name {
+	case "mean":
+		return dtr.ObjMeanTime, nil
+	case "qos":
+		return dtr.ObjQoS, nil
+	case "reliability":
+		return dtr.ObjReliability, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q", name)
+}
+
+// formatFactors renders per-server replication factors as "k0,k1,...".
+func formatFactors(factors []int) string {
+	s := ""
+	for i, f := range factors {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", f)
+	}
+	return s
+}
+
+// optimizeReplicated runs the joint reallocation+replication search.
+func optimizeReplicated(sys *dtr.System, objective string, deadline float64, cfg *dtr.ReplicationConfig, out *os.File) error {
+	obj, err := planObjective(objective)
+	if err != nil {
+		return err
+	}
+	plan, err := sys.OptimizeReplicated(obj, deadline, *cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "objective: %s\n", objective)
+	fmt.Fprintf(out, "policy:    %s\n", dtr.FormatPolicy(plan.Policy))
+	fmt.Fprintf(out, "replicate: %s (max %d)\n", formatFactors(plan.Factors), cfg.MaxFactor)
+	if sys.Model().N() == 2 {
+		fmt.Fprintf(out, "value:     %.4f\n", plan.Value)
+	} else {
+		fmt.Fprintln(out, "value:     (multi-server: evaluate with `simulate -policy ...`)")
+	}
+	return nil
+}
+
 // optimizeExplain runs the self-auditing optimizer path: same winning
 // policy and value as the plain path, plus the versioned diagnostics
 // artifact written to path ("-" streams the JSON to stdout in place of
 // the human summary).
-func optimizeExplain(sys *dtr.System, objective string, deadline float64, probe bool, path string, out *os.File) error {
-	ex, err := sys.Explain(dtr.ExplainOptions{Objective: objective, Deadline: deadline, Probe: probe})
+func optimizeExplain(sys *dtr.System, objective string, deadline float64, probe bool, repl *dtr.ReplicationConfig, path string, out *os.File) error {
+	ex, err := sys.Explain(dtr.ExplainOptions{Objective: objective, Deadline: deadline, Probe: probe, Replication: repl})
 	if err != nil {
 		return err
 	}
@@ -181,6 +242,9 @@ func optimizeExplain(sys *dtr.System, objective string, deadline float64, probe 
 	}
 	fmt.Fprintf(out, "objective: %s\n", ex.Objective)
 	fmt.Fprintf(out, "policy:    %s\n", dtr.FormatPolicy(dtr.Policy(ex.Policy)))
+	if ex.Replication != nil {
+		fmt.Fprintf(out, "replicate: %s (max %d)\n", formatFactors(ex.Replication.Factors), ex.Replication.MaxFactor)
+	}
 	if ex.Value != nil {
 		fmt.Fprintf(out, "value:     %.4f\n", *ex.Value)
 	} else {

@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"math/rand/v2"
+)
+
+// TestSlowdownMoments checks the closed-form mixture moments against the
+// definition CDF(x) = (1−p)F(x) + p·F(x/s).
+func TestSlowdownMoments(t *testing.T) {
+	base := NewExponential(2)
+	p, s := 0.25, 6.0
+	d := NewSlowdown(base, p, s)
+
+	wantMean := (1 - p + p*s) * base.Mean()
+	if got := d.Mean(); math.Abs(got-wantMean) > 1e-12*wantMean {
+		t.Fatalf("mean %g, want %g", got, wantMean)
+	}
+	// E[X²] = (1−p+p·s²)·E[B²] with E[B²] = Var + Mean².
+	eb2 := base.Var() + base.Mean()*base.Mean()
+	wantVar := (1-p+p*s*s)*eb2 - wantMean*wantMean
+	if got := d.Var(); math.Abs(got-wantVar) > 1e-9*wantVar {
+		t.Fatalf("var %g, want %g", got, wantVar)
+	}
+	// Monte-Carlo confirmation of the sampling path.
+	r := rand.New(rand.NewPCG(3, 9))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	if est := sum / n; math.Abs(est-wantMean) > 0.05*wantMean {
+		t.Fatalf("sample mean %g far from %g", est, wantMean)
+	}
+}
+
+// TestSlowdownCDFMixture checks the mixture form pointwise and that the
+// quantile function inverts it.
+func TestSlowdownCDFMixture(t *testing.T) {
+	base := NewGamma(2, 3)
+	p, s := 0.4, 4.0
+	d := NewSlowdown(base, p, s)
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 30} {
+		want := (1-p)*base.CDF(x) + p*base.CDF(x/s)
+		if got := d.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+		if got := d.Survival(x); math.Abs(got-(1-want)) > 1e-12 {
+			t.Fatalf("Survival(%g) = %g, want %g", x, got, 1-want)
+		}
+	}
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.999} {
+		x := d.Quantile(q)
+		if got := d.CDF(x); math.Abs(got-q) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%g)) = %g", q, got)
+		}
+	}
+}
+
+// TestSlowdownIdentity locks the bit-identity contract: an identity
+// slowdown (p = 0 or s = 1) returns the base distribution itself, not a
+// wrapper — so k = 1 / no-straggler code paths are byte-identical to
+// pre-replication behavior.
+func TestSlowdownIdentity(t *testing.T) {
+	base := NewExponential(1)
+	if d := NewSlowdown(base, 0, 5); d != Dist(base) {
+		t.Fatal("p=0 slowdown must return the base distribution")
+	}
+	if d := NewSlowdown(base, 0.5, 1); d != Dist(base) {
+		t.Fatal("s=1 slowdown must return the base distribution")
+	}
+}
+
+// TestSlowdownRejectsBadParams: NaN and out-of-range parameters panic at
+// construction (the modelspec layer converts these to field errors).
+func TestSlowdownRejectsBadParams(t *testing.T) {
+	base := NewExponential(1)
+	for _, tc := range []struct{ p, s float64 }{
+		{math.NaN(), 2}, {0.5, math.NaN()}, {-0.1, 2}, {1.1, 2}, {0.5, 0.5}, {0.5, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSlowdown(p=%g, s=%g) did not panic", tc.p, tc.s)
+				}
+			}()
+			NewSlowdown(base, tc.p, tc.s)
+		}()
+	}
+}
+
+// TestMinOfKSurvivalPower: S_min(x) = S(x)^k, the defining identity of
+// cancel-on-first-complete replication, plus quantile inversion.
+func TestMinOfKSurvivalPower(t *testing.T) {
+	base := NewPareto(2.5, 2)
+	for k := 2; k <= 4; k++ {
+		d := NewMinOfK(base, k)
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+			want := math.Pow(base.Survival(x), float64(k))
+			if got := d.Survival(x); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("k=%d: S(%g) = %g, want %g", k, x, got, want)
+			}
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			x := d.Quantile(q)
+			if got := d.CDF(x); math.Abs(got-q) > 1e-9 {
+				t.Fatalf("k=%d: CDF(Quantile(%g)) = %g", k, q, got)
+			}
+		}
+		// Mean from the survival integral must agree with Monte Carlo of
+		// an explicit min over k base samples.
+		r := rand.New(rand.NewPCG(uint64(k), 5))
+		var sum float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			m := math.Inf(1)
+			for c := 0; c < k; c++ {
+				if w := base.Sample(r); w < m {
+					m = w
+				}
+			}
+			sum += m
+		}
+		if est, mean := sum/n, d.Mean(); math.Abs(est-mean) > 0.03*mean {
+			t.Fatalf("k=%d: MC mean %g vs analytic %g", k, est, mean)
+		}
+	}
+}
+
+// TestMinOfKIdentityAndCollapse: k = 1 returns the base itself (bit
+// identity) and nested wrappers collapse multiplicatively.
+func TestMinOfKIdentityAndCollapse(t *testing.T) {
+	base := NewExponential(1)
+	if d := NewMinOfK(base, 1); d != Dist(base) {
+		t.Fatal("k=1 min-of-k must return the base distribution")
+	}
+	nested := NewMinOfK(NewMinOfK(base, 2), 3)
+	flat := NewMinOfK(base, 6)
+	for _, x := range []float64{0.1, 1, 3} {
+		if a, b := nested.Survival(x), flat.Survival(x); math.Abs(a-b) > 1e-15 {
+			t.Fatalf("nested min-of-k did not collapse: S(%g) %g vs %g", x, a, b)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewMinOfK(base, 0) did not panic")
+			}
+		}()
+		NewMinOfK(base, 0)
+	}()
+}
+
+// TestMinOfKAgingCommutes: because every copy starts (and is cancelled)
+// together, aging commutes with replication —
+// MinOfK(d, k).Aged(a) ≡ MinOfK(d.Aged(a), k). This is the identity that
+// lets the analytic solvers substitute effective min-of-k laws while
+// keeping the paper's age-dependent residual semantics.
+func TestMinOfKAgingCommutes(t *testing.T) {
+	for _, base := range []Dist{
+		NewPareto(2.2, 2),
+		NewWeibull(0.8, 1.5),
+		NewSlowdown(NewExponential(1), 0.3, 5),
+	} {
+		for _, k := range []int{2, 3} {
+			for _, a := range []float64{0.5, 2} {
+				lhs := NewMinOfK(base, k).Aged(a)
+				rhs := NewMinOfK(base.Aged(a), k)
+				for _, x := range []float64{0.1, 1, 4} {
+					la, ra := lhs.Survival(x), rhs.Survival(x)
+					if math.Abs(la-ra) > 1e-9*(1+ra) {
+						t.Fatalf("k=%d a=%g: aged survival %g vs %g at x=%g", k, a, la, ra, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMinOfKExponentialClosedForm: min of k exp(mean) is exp(mean/k) —
+// an exact closed form the numeric moment integrals must hit.
+func TestMinOfKExponentialClosedForm(t *testing.T) {
+	base := NewExponential(3)
+	for k := 2; k <= 5; k++ {
+		d := NewMinOfK(base, k)
+		want := 3.0 / float64(k)
+		if got := d.Mean(); math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("k=%d mean %g, want %g", k, got, want)
+		}
+		if got := d.Var(); math.Abs(got-want*want) > 1e-4*want*want {
+			t.Fatalf("k=%d var %g, want %g", k, got, want*want)
+		}
+	}
+}

@@ -326,6 +326,12 @@ func TestCompletionCDFPublicPath(t *testing.T) {
 		}
 		prev = v
 	}
+	// Times far beyond the grid must clamp to the last lattice value:
+	// int(t/dx) overflows for t this large if converted before the
+	// range check (dtrplan's auto-tmax probe evaluates cdf(1e18)).
+	if v := cdf(1e18); v != cdf(1e9) {
+		t.Fatalf("CDF(1e18)=%g, want the saturated value %g", v, cdf(1e9))
+	}
 }
 
 func TestSystemAccessorsAndStateSim(t *testing.T) {

@@ -34,6 +34,27 @@ type ExplainOptions struct {
 	// solve cost the first time). Ignored for multi-server systems,
 	// whose pairwise solvers are transient.
 	Probe bool
+	// Replication, when set with MaxFactor > 1, switches the solve to
+	// the joint reallocation+replication search and adds the
+	// Replication section to the artifact. Nil (or MaxFactor ≤ 1)
+	// leaves the artifact byte-identical to the pre-replication shape.
+	Replication *ReplicationConfig
+}
+
+// ReplCombo re-exports one factor combination's search record.
+type ReplCombo = policy.ReplCombo
+
+// ExplainReplication is the replication section of an explain artifact:
+// the search bounds, the winning per-server factors, and (two-server
+// systems) every factor combination's best policy and value — the
+// diversity/parallelism trade-off curve the plan was chosen from.
+type ExplainReplication struct {
+	MaxFactor int   `json:"maxFactor"`
+	Budget    int   `json:"budget,omitempty"`
+	Factors   []int `json:"factors"`
+	// Combos is the per-combination record in evaluation order,
+	// (1, 1) first (two-server searches only).
+	Combos []ReplCombo `json:"combos,omitempty"`
 }
 
 // ExplainProbe is the grid-error probe section of an explain artifact:
@@ -83,6 +104,9 @@ type Explain struct {
 	Algorithm1 *Alg1Diagnostics   `json:"algorithm1,omitempty"`
 	// Probe is the optional grid-error estimate (ExplainOptions.Probe).
 	Probe *ExplainProbe `json:"probe,omitempty"`
+	// Replication is present exactly when the solve searched replication
+	// factors (ExplainOptions.Replication with MaxFactor > 1).
+	Replication *ExplainReplication `json:"replication,omitempty"`
 }
 
 // explainObjective maps the artifact's objective names onto the policy
@@ -129,17 +153,35 @@ func (s *System) Explain(opt ExplainOptions) (*Explain, error) {
 		Servers:   s.model.N(),
 	}
 
+	replicating := opt.Replication != nil && opt.Replication.MaxFactor > 1
+
 	if s.model.N() != 2 {
 		var ad Alg1Diagnostics
-		p, err := policy.Algorithm1(s.model, s.initial, policy.Alg1Options{
+		alg1opts := policy.Alg1Options{
 			Objective: obj,
 			Deadline:  opt.Deadline,
 			Workers:   s.Workers,
 			Span:      s.Span,
 			Diag:      &ad,
-		})
-		if err != nil {
-			return nil, err
+		}
+		var p Policy
+		var err error
+		if replicating {
+			var factors []int
+			p, factors, err = policy.Algorithm1Repl(s.model, s.initial, alg1opts, opt.Replication.MaxFactor, opt.Replication.Budget)
+			if err != nil {
+				return nil, err
+			}
+			ex.Replication = &ExplainReplication{
+				MaxFactor: opt.Replication.MaxFactor,
+				Budget:    opt.Replication.Budget,
+				Factors:   factors,
+			}
+		} else {
+			p, err = policy.Algorithm1(s.model, s.initial, alg1opts)
+			if err != nil {
+				return nil, err
+			}
 		}
 		ex.Policy = p
 		ex.PolicyString = FormatPolicy(p)
@@ -152,19 +194,46 @@ func (s *System) Explain(opt ExplainOptions) (*Explain, error) {
 		// flag only matters on first (lazy) construction.
 		s.ErrorProbe = true
 	}
-	sv, err := s.directSolver()
-	if err != nil {
-		return nil, err
-	}
+
+	var res policy.Result2
+	var sv *direct.Solver
 	var sweep SweepDiagnostics
-	res, err := policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{
-		Deadline: opt.Deadline,
-		Workers:  s.Workers,
-		Span:     s.Span,
-		Diag:     &sweep,
-	})
-	if err != nil {
-		return nil, err
+	if replicating {
+		sv, err = s.solverWithFactor(opt.Replication.MaxFactor)
+		if err != nil {
+			return nil, err
+		}
+		var rd policy.ReplDiagnostics
+		rres, rerr := policy.OptimizeRepl2(sv, s.initial[0], s.initial[1], obj, policy.ReplOptions2{
+			Options2:  policy.Options2{Deadline: opt.Deadline, Workers: s.Workers, Span: s.Span},
+			MaxFactor: opt.Replication.MaxFactor,
+			Budget:    opt.Replication.Budget,
+			Diag:      &rd,
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		res = rres.Result2
+		ex.Replication = &ExplainReplication{
+			MaxFactor: rd.MaxFactor,
+			Budget:    rd.Budget,
+			Factors:   []int{rres.Factors[0], rres.Factors[1]},
+			Combos:    rd.Combos,
+		}
+	} else {
+		sv, err = s.directSolver()
+		if err != nil {
+			return nil, err
+		}
+		res, err = policy.Optimize2(sv, s.initial[0], s.initial[1], obj, policy.Options2{
+			Deadline: opt.Deadline,
+			Workers:  s.Workers,
+			Span:     s.Span,
+			Diag:     &sweep,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Snapshot the solver audit before the probe: the probe re-evaluates
 	// the winner, which would inflate the sweep's fold counters.
@@ -175,9 +244,15 @@ func (s *System) Explain(opt ExplainOptions) (*Explain, error) {
 	ex.PolicyString = FormatPolicy(p)
 	ex.Value = fptr(res.Value)
 	ex.Solver = &diag
-	ex.Sweep = &sweep
+	if !replicating {
+		ex.Sweep = &sweep
+	}
 
 	if opt.Probe {
+		// The probe's grid-error estimate is computed at the winning
+		// (L12, L21) under the model's default factors: discretization
+		// error is a property of the lattice geometry, which the factor
+		// only lightens (min-of-k tails are strictly lighter).
 		pr, err := sv.ProbeGridError(s.initial[0], s.initial[1], res.L12, res.L21, opt.Deadline)
 		if err != nil {
 			return nil, err

@@ -46,6 +46,71 @@ type Model struct {
 	// as a single random variable whose distribution may depend on the
 	// group size (its testbed transfers scale with the number of tasks).
 	Transfer func(tasks, src, dst int) dist.Dist
+
+	// Repl[k] is server k's task replication factor: every task run at
+	// server k is dispatched as Repl[k] i.i.d. copies and completes when
+	// the first copy does (cancel-on-first-complete). nil, or an entry
+	// of 0 or 1, means no replication. The effective per-task service
+	// law is the min-of-k order statistic of Service[k]; analytic
+	// consumers obtain it via EffectiveService/EffectiveModel while the
+	// simulator spawns the copies explicitly.
+	Repl []int
+}
+
+// ReplFactor returns server k's replication factor (1 when unset).
+func (m *Model) ReplFactor(k int) int {
+	if m.Repl == nil || k >= len(m.Repl) || m.Repl[k] <= 1 {
+		return 1
+	}
+	return m.Repl[k]
+}
+
+// Replicated reports whether any server has a replication factor above 1.
+func (m *Model) Replicated() bool {
+	for k := range m.Service {
+		if m.ReplFactor(k) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// WithRepl returns a shallow copy of the model with the given replication
+// factors (nil clears them). The slice is copied.
+func (m *Model) WithRepl(factors []int) *Model {
+	c := *m
+	if factors == nil {
+		c.Repl = nil
+	} else {
+		c.Repl = append([]int(nil), factors...)
+	}
+	return &c
+}
+
+// EffectiveService returns the per-task completion law at server k under
+// its replication factor: Service[k] itself for factor 1 (bit-identical —
+// no wrapper), the min-of-k order statistic otherwise.
+func (m *Model) EffectiveService(k int) dist.Dist {
+	return dist.NewMinOfK(m.Service[k], m.ReplFactor(k))
+}
+
+// EffectiveModel returns a view of the model in which every service law
+// is the replication-effective one and Repl is cleared. The analytic
+// solvers consume this view: a task's k copies start and cancel together,
+// so the per-task service process is exactly one draw from the min-of-k
+// law (and ages compose — Aged commutes with the minimum). Returns the
+// receiver itself when no server replicates, preserving bit-identity.
+func (m *Model) EffectiveModel() *Model {
+	if !m.Replicated() {
+		return m
+	}
+	c := *m
+	c.Service = make([]dist.Dist, len(m.Service))
+	for k := range m.Service {
+		c.Service[k] = m.EffectiveService(k)
+	}
+	c.Repl = nil
+	return &c
 }
 
 // N returns the number of servers in the model.
@@ -72,6 +137,16 @@ func (m *Model) Validate() error {
 	}
 	if m.Transfer == nil {
 		return fmt.Errorf("core: model has nil Transfer")
+	}
+	if m.Repl != nil {
+		if len(m.Repl) != n {
+			return fmt.Errorf("core: %d servers but %d replication factors", n, len(m.Repl))
+		}
+		for k, f := range m.Repl {
+			if f < 0 {
+				return fmt.Errorf("core: negative replication factor %d at server %d", f, k)
+			}
+		}
 	}
 	return nil
 }

@@ -46,6 +46,8 @@ func NewNSolver(m *Model) (*NSolver, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	// See NewSolver: replication is exactly a min-of-k service law.
+	m = m.EffectiveModel()
 	minMean := math.Inf(1)
 	for _, d := range m.Service {
 		if mu := d.Mean(); mu < minMean {

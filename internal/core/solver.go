@@ -74,6 +74,11 @@ func NewSolver(m *Model) (*Solver, error) {
 	if m.N() != 2 {
 		return nil, fmt.Errorf("core: exact regeneration solver supports 2 servers, model has %d (use Algorithm 1 for more)", m.N())
 	}
+	// Replication folds into the service laws exactly: the k copies of a
+	// task start and cancel together, so the per-task service process is
+	// one draw from the min-of-k law and ages compose (Aged commutes
+	// with the minimum).
+	m = m.EffectiveModel()
 	minMean := math.Inf(1)
 	for _, d := range m.Service {
 		if mu := d.Mean(); mu < minMean {

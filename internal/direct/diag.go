@@ -45,6 +45,12 @@ type Diagnostics struct {
 	TailMassMax float64 `json:"tailMassMax"`
 	// Evaluations counts finish-pair constructions.
 	Evaluations uint64 `json:"evaluations"`
+	// MaxFactor is the largest replication factor with prefix tables,
+	// reported only when above 1 (the replication-enabled case) so
+	// non-replicated diagnostic artifacts keep their pre-replication
+	// bytes. The build-phase fold counters above already include the
+	// min-of-k prefix chains.
+	MaxFactor int `json:"maxFactor,omitempty"`
 }
 
 // maxFloat64 is a lock-free order-independent maximum of non-negative
@@ -91,7 +97,12 @@ func (s *Solver) noteFinish(tail float64) {
 // call concurrently with solves; a snapshot taken mid-sweep can lag the
 // in-flight fold.
 func (s *Solver) Diagnostics() Diagnostics {
+	mf := s.maxFac
+	if mf <= 1 {
+		mf = 0 // omitted from JSON: non-replicated artifacts keep their bytes
+	}
 	return Diagnostics{
+		MaxFactor: mf,
 		GridN:                s.n,
 		Dx:                   s.dx,
 		Horizon:              s.Horizon(),
@@ -137,9 +148,10 @@ func (s *Solver) ProbeGridError(m1, m2, l12, l21 int, tm float64) (*ProbeResult,
 	}
 	s.probeOnce.Do(func() {
 		coarse, err := NewSolver(s.model, Config{
-			Dx:       2 * s.dx,
-			N:        s.n / 2,
-			MaxQueue: s.maxQueue,
+			Dx:        2 * s.dx,
+			N:         s.n / 2,
+			MaxQueue:  s.maxQueue,
+			MaxFactor: s.maxFac,
 		})
 		if err != nil {
 			s.probeErr = fmt.Errorf("direct: build probe solver: %w", err)

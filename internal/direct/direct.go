@@ -54,10 +54,20 @@ type Solver struct {
 
 	fsize int // FFT length for cached frequency-domain convolution
 
-	// pre[k][j] is the law of the sum of j i.i.d. service times at
-	// server k; preF[k][j] is its cached forward FFT.
-	pre  [2][]*gridfn.Lattice
-	preF [2][][]complex128
+	// pre[k][f-1][j] is the law of the sum of j i.i.d. effective service
+	// times at server k under replication factor f — each task's law is
+	// the min-of-f order statistic of the base service law
+	// (cancel-on-first-complete replication); preF[k][f-1][j] is its
+	// cached forward FFT. Factor 1 is the base law, so a solver built
+	// with MaxFactor ≤ 1 has exactly the pre-replication tables.
+	pre  [2][][]*gridfn.Lattice
+	preF [2][][][]complex128
+
+	// maxFac is the largest replication factor with prefix tables;
+	// defFac[k] is server k's default factor (the model's Repl entry,
+	// 1 when unset) used by the factor-less metric methods.
+	maxFac int
+	defFac [2]int
 
 	zCache map[[3]int]*gridfn.Lattice
 
@@ -120,6 +130,13 @@ type Config struct {
 	// Off by default because the shadow doubles construction cost on the
 	// first probe. Has no effect on solve results either way.
 	ErrorProbe bool
+	// MaxFactor requests prefix tables for replication factors
+	// 1..MaxFactor per server, enabling the *Repl metric variants (the
+	// joint reallocation+replication search evaluates them). 0 or 1
+	// builds only the base tables; the model's own Repl factors raise
+	// the effective value so the default-factor methods always have
+	// their tables.
+	MaxFactor int
 }
 
 // NewSolver precomputes the service-sum laws for a two-server model.
@@ -153,6 +170,18 @@ func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
 		dx = hor / float64(n-1)
 	}
 
+	maxFac := cfg.MaxFactor
+	if maxFac < 1 {
+		maxFac = 1
+	}
+	var defFac [2]int
+	for k := 0; k < 2; k++ {
+		defFac[k] = m.ReplFactor(k)
+		if defFac[k] > maxFac {
+			maxFac = defFac[k]
+		}
+	}
+
 	s := &Solver{
 		model:        m,
 		dx:           dx,
@@ -162,18 +191,46 @@ func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
 		TailCorrect:  true,
 		span:         cfg.Span,
 		maxQueue:     cfg.MaxQueue,
+		maxFac:       maxFac,
+		defFac:       defFac,
 		probeEnabled: cfg.ErrorProbe,
 	}
 	build := cfg.Span.Child("solver_build", "grid_n", n, "max_queue_1", cfg.MaxQueue[0], "max_queue_2", cfg.MaxQueue[1])
+	// The build runs server-major, factor-minor, so a MaxFactor ≤ 1
+	// solver performs exactly the pre-replication fold sequence (same
+	// meter observations, same lattices — the k=1 bit-identity lock).
 	for k := 0; k < 2; k++ {
-		base := gridfn.FromCDF(m.Service[k].CDF, dx, n)
-		s.pre[k] = base.PrefixesMetered(cfg.MaxQueue[k], &s.buildMeter)
-		s.preF[k] = make([][]complex128, len(s.pre[k]))
+		s.pre[k] = make([][]*gridfn.Lattice, maxFac)
+		s.preF[k] = make([][][]complex128, maxFac)
+		for f := 1; f <= maxFac; f++ {
+			eff := dist.NewMinOfK(m.Service[k], f)
+			base := gridfn.FromCDF(eff.CDF, dx, n)
+			s.pre[k][f-1] = base.PrefixesMetered(cfg.MaxQueue[k], &s.buildMeter)
+			s.preF[k][f-1] = make([][]complex128, len(s.pre[k][f-1]))
+		}
 	}
 	build.SetAttr("build_folds", s.buildMeter.Folds)
 	build.SetAttr("build_mass_residual_max", s.buildMeter.MaxResidual)
 	build.End()
 	return s, nil
+}
+
+// MaxFactor returns the largest replication factor the solver has prefix
+// tables for.
+func (s *Solver) MaxFactor() int { return s.maxFac }
+
+// DefaultFactors returns the per-server factors the factor-less metric
+// methods use (the model's Repl entries, 1 when unset).
+func (s *Solver) DefaultFactors() [2]int { return s.defFac }
+
+// checkFactors validates a per-server factor pair against the tables.
+func (s *Solver) checkFactors(fac [2]int) error {
+	for k, f := range fac {
+		if f < 1 || f > s.maxFac {
+			return fmt.Errorf("direct: replication factor %d at server %d outside [1, %d] (raise Config.MaxFactor)", f, k, s.maxFac)
+		}
+	}
+	return nil
 }
 
 // Dx returns the lattice step.
@@ -182,42 +239,44 @@ func (s *Solver) Dx() float64 { return s.dx }
 // Horizon returns the last lattice time point.
 func (s *Solver) Horizon() float64 { return float64(s.n-1) * s.dx }
 
-// freqOf returns (computing lazily) the forward FFT of the j-fold service
-// sum at server k. Concurrent misses on the same slot each compute the
-// transform, but only the first store is published; the loser's copy is
-// discarded (counted as a duplicate — the cache-contention signal) so
-// every caller reads the same buffer.
-func (s *Solver) freqOf(k, j int) []complex128 {
+// freqOf returns (computing lazily) the forward FFT of the j-fold
+// effective service sum at server k under replication factor fac.
+// Concurrent misses on the same slot each compute the transform, but only
+// the first store is published; the loser's copy is discarded (counted as
+// a duplicate — the cache-contention signal) so every caller reads the
+// same buffer.
+func (s *Solver) freqOf(k, fac, j int) []complex128 {
 	s.mu.RLock()
-	f := s.preF[k][j]
+	f := s.preF[k][fac-1][j]
 	s.mu.RUnlock()
 	if f != nil {
 		fftHits.Inc()
 		return f
 	}
 	fftMisses.Inc()
-	sp := s.span.Child("fft", "server", k, "fold", j, "prefix_tail", s.pre[k][j].Tail)
+	sp := s.span.Child("fft", "server", k, "fold", j, "prefix_tail", s.pre[k][fac-1][j].Tail)
 	defer sp.End()
 	buf := make([]complex128, s.fsize)
-	for i, v := range s.pre[k][j].M {
+	for i, v := range s.pre[k][fac-1][j].M {
 		buf[i] = complex(v, 0)
 	}
 	fft.Forward(buf)
 	s.mu.Lock()
-	if f := s.preF[k][j]; f != nil {
+	if f := s.preF[k][fac-1][j]; f != nil {
 		s.mu.Unlock()
 		fftDupComputes.Inc()
 		return f
 	}
-	s.preF[k][j] = buf
+	s.preF[k][fac-1][j] = buf
 	s.mu.Unlock()
 	return buf
 }
 
-// convWithPrefix convolves l with the j-fold service sum at server k
-// using the cached transform; overflow and tail interactions accumulate
-// into the result's Tail exactly as gridfn.Convolve does.
-func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
+// convWithPrefix convolves l with the j-fold effective service sum at
+// server k under factor fac using the cached transform; overflow and tail
+// interactions accumulate into the result's Tail exactly as
+// gridfn.Convolve does.
+func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, fac, j int) *gridfn.Lattice {
 	if j == 0 {
 		return l.Clone()
 	}
@@ -226,7 +285,7 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 		buf[i] = complex(v, 0)
 	}
 	fft.Forward(buf)
-	pf := s.freqOf(k, j)
+	pf := s.freqOf(k, fac, j)
 	for i := range buf {
 		buf[i] *= pf[i]
 	}
@@ -246,7 +305,7 @@ func (s *Solver) convWithPrefix(l *gridfn.Lattice, k, j int) *gridfn.Lattice {
 	for _, v := range l.M {
 		massL += v
 	}
-	p := s.pre[k][j]
+	p := s.pre[k][fac-1][j]
 	for _, v := range p.M {
 		massP += v
 	}
@@ -297,20 +356,32 @@ func (s *Solver) zLattice(tasks, src, dst int) *gridfn.Lattice {
 // Finish returns the finish-time law of server k with `own` initial tasks
 // and an incoming batch of `g` tasks from server src (g = 0 for none):
 // F = max(S_own, Z) + S'_g. A server with no work finishes at time 0.
+// The server's default replication factor applies.
 func (s *Solver) Finish(k, own, g, src int) (*gridfn.Lattice, error) {
+	return s.FinishRepl(k, own, g, src, s.defFac[k])
+}
+
+// FinishRepl is Finish with an explicit replication factor: every task's
+// service draw is the min-of-fac order statistic of the base law
+// (cancel-on-first-complete replication).
+func (s *Solver) FinishRepl(k, own, g, src, fac int) (*gridfn.Lattice, error) {
 	if own < 0 || g < 0 {
 		return nil, fmt.Errorf("direct: negative task counts own=%d g=%d", own, g)
 	}
-	if own >= len(s.pre[k]) || g >= len(s.pre[k]) {
+	if fac < 1 || fac > s.maxFac {
+		return nil, fmt.Errorf("direct: replication factor %d outside [1, %d] (raise Config.MaxFactor)", fac, s.maxFac)
+	}
+	pre := s.pre[k][fac-1]
+	if own >= len(pre) || g >= len(pre) {
 		return nil, fmt.Errorf("direct: queue %d/%d exceeds MaxQueue=%d at server %d",
-			own, g, len(s.pre[k])-1, k)
+			own, g, len(pre)-1, k)
 	}
 	if g == 0 {
-		return s.pre[k][own].Clone(), nil
+		return pre[own].Clone(), nil
 	}
 	z := s.zLattice(g, src, k)
-	race := s.pre[k][own].MaxIndep(z)
-	return s.convWithPrefix(race, k, g), nil
+	race := pre[own].MaxIndep(z)
+	return s.convWithPrefix(race, k, fac, g), nil
 }
 
 // Metrics bundles the three paper metrics for one policy, along with the
@@ -335,18 +406,25 @@ func (s *Solver) scenario(m1, m2, l12, l21 int) (r1, r2 int, err error) {
 	return m1 - l12, m2 - l21, nil
 }
 
-// finishPair builds both servers' finish-time laws for the policy.
+// finishPair builds both servers' finish-time laws for the policy under
+// the default factors.
 func (s *Solver) finishPair(m1, m2, l12, l21 int) (f1, f2 *gridfn.Lattice, err error) {
+	return s.finishPairRepl(m1, m2, l12, l21, s.defFac)
+}
+
+// finishPairRepl builds both servers' finish-time laws under explicit
+// per-server replication factors.
+func (s *Solver) finishPairRepl(m1, m2, l12, l21 int, fac [2]int) (f1, f2 *gridfn.Lattice, err error) {
 	r1, r2, err := s.scenario(m1, m2, l12, l21)
 	if err != nil {
 		return nil, nil, err
 	}
 	evals.Inc()
-	f1, err = s.Finish(0, r1, l21, 1)
+	f1, err = s.FinishRepl(0, r1, l21, 1, fac[0])
 	if err != nil {
 		return nil, nil, err
 	}
-	f2, err = s.Finish(1, r2, l12, 0)
+	f2, err = s.FinishRepl(1, r2, l12, 0, fac[1])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -357,17 +435,25 @@ func (s *Solver) finishPair(m1, m2, l12, l21 int) (f1, f2 *gridfn.Lattice, err e
 // MeanTime returns T̄ = E[max(F1, F2)] for the policy (L12, L21) applied
 // to the initial allocation (m1, m2). The model must be reliable.
 func (s *Solver) MeanTime(m1, m2, l12, l21 int) (float64, error) {
+	return s.MeanTimeRepl(m1, m2, l12, l21, s.defFac)
+}
+
+// MeanTimeRepl is MeanTime under explicit per-server replication factors.
+func (s *Solver) MeanTimeRepl(m1, m2, l12, l21 int, fac [2]int) (float64, error) {
 	if !s.model.Reliable() {
 		return 0, fmt.Errorf("direct: mean execution time requires reliable servers")
 	}
-	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err := s.checkFactors(fac); err != nil {
+		return 0, err
+	}
+	f1, f2, err := s.finishPairRepl(m1, m2, l12, l21, fac)
 	if err != nil {
 		return 0, err
 	}
 	mean := f1.MaxIndep(f2).Mean()
 	if s.TailCorrect {
 		r1, r2, _ := s.scenario(m1, m2, l12, l21)
-		mean += s.tailExcess(0, r1, l21, 1) + s.tailExcess(1, r2, l12, 0)
+		mean += s.tailExcess(0, r1, l21, 1, fac[0]) + s.tailExcess(1, r2, l12, 0, fac[1])
 	}
 	return mean, nil
 }
@@ -376,10 +462,12 @@ func (s *Solver) MeanTime(m1, m2, l12, l21 int) (float64, error) {
 // the single-big-jump approximation: each constituent draw (one group
 // transfer plus own+g service times) exceeds the horizon alone while the
 // others sit near their means, so the thresholds are reduced by the
-// expected remainder.
-func (s *Solver) tailExcess(k, own, g, src int) float64 {
+// expected remainder. Under replication the per-task law is the
+// min-of-fac order statistic, whose tail is the base tail to the fac-th
+// power — strictly lighter, so the correction shrinks with fac.
+func (s *Solver) tailExcess(k, own, g, src, fac int) float64 {
 	h := s.Horizon()
-	w := s.model.Service[k]
+	w := dist.NewMinOfK(s.model.Service[k], fac)
 	nTasks := own + g
 	total := float64(nTasks) * w.Mean()
 	var zMean float64
@@ -412,10 +500,18 @@ func (s *Solver) tailExcess(k, own, g, src int) float64 {
 // reliable servers the failure factor is 1 and this reduces to
 // P(F1 ≤ TM)·P(F2 ≤ TM).
 func (s *Solver) QoS(m1, m2, l12, l21 int, tm float64) (float64, error) {
+	return s.QoSRepl(m1, m2, l12, l21, tm, s.defFac)
+}
+
+// QoSRepl is QoS under explicit per-server replication factors.
+func (s *Solver) QoSRepl(m1, m2, l12, l21 int, tm float64, fac [2]int) (float64, error) {
 	if tm < 0 || math.IsNaN(tm) {
 		return 0, fmt.Errorf("direct: invalid deadline %g", tm)
 	}
-	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	if err := s.checkFactors(fac); err != nil {
+		return 0, err
+	}
+	f1, f2, err := s.finishPairRepl(m1, m2, l12, l21, fac)
 	if err != nil {
 		return 0, err
 	}
@@ -445,7 +541,16 @@ func (s *Solver) qosOf(f *gridfn.Lattice, k int, tm float64) float64 {
 // its own finish time; the failure laws are independent of everything
 // else, so the factors multiply.
 func (s *Solver) Reliability(m1, m2, l12, l21 int) (float64, error) {
-	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	return s.ReliabilityRepl(m1, m2, l12, l21, s.defFac)
+}
+
+// ReliabilityRepl is Reliability under explicit per-server replication
+// factors.
+func (s *Solver) ReliabilityRepl(m1, m2, l12, l21 int, fac [2]int) (float64, error) {
+	if err := s.checkFactors(fac); err != nil {
+		return 0, err
+	}
+	f1, f2, err := s.finishPairRepl(m1, m2, l12, l21, fac)
 	if err != nil {
 		return 0, err
 	}
@@ -468,7 +573,16 @@ func (s *Solver) Reliability(m1, m2, l12, l21 int) (float64, error) {
 // (reliable case) is its complementary integral — the curve is what a
 // deadline-shopping caller actually wants.
 func (s *Solver) CompletionCDF(m1, m2, l12, l21 int) ([]float64, error) {
-	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	return s.CompletionCDFRepl(m1, m2, l12, l21, s.defFac)
+}
+
+// CompletionCDFRepl is CompletionCDF under explicit per-server
+// replication factors.
+func (s *Solver) CompletionCDFRepl(m1, m2, l12, l21 int, fac [2]int) ([]float64, error) {
+	if err := s.checkFactors(fac); err != nil {
+		return nil, err
+	}
+	f1, f2, err := s.finishPairRepl(m1, m2, l12, l21, fac)
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +611,15 @@ func (s *Solver) CompletionCDF(m1, m2, l12, l21 int) ([]float64, error) {
 // All evaluates the three metrics (and the tail diagnostics) in one pass
 // over the finish-time laws; Mean is NaN when the model is not reliable.
 func (s *Solver) All(m1, m2, l12, l21 int, tm float64) (Metrics, error) {
-	f1, f2, err := s.finishPair(m1, m2, l12, l21)
+	return s.AllRepl(m1, m2, l12, l21, tm, s.defFac)
+}
+
+// AllRepl is All under explicit per-server replication factors.
+func (s *Solver) AllRepl(m1, m2, l12, l21 int, tm float64, fac [2]int) (Metrics, error) {
+	if err := s.checkFactors(fac); err != nil {
+		return Metrics{}, err
+	}
+	f1, f2, err := s.finishPairRepl(m1, m2, l12, l21, fac)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -507,7 +629,7 @@ func (s *Solver) All(m1, m2, l12, l21 int, tm float64) (Metrics, error) {
 		out.Mean = f1.MaxIndep(f2).Mean()
 		if s.TailCorrect {
 			r1, r2, _ := s.scenario(m1, m2, l12, l21)
-			out.Mean += s.tailExcess(0, r1, l21, 1) + s.tailExcess(1, r2, l12, 0)
+			out.Mean += s.tailExcess(0, r1, l21, 1, fac[0]) + s.tailExcess(1, r2, l12, 0, fac[1])
 		}
 	} else {
 		out.Mean = math.NaN()

@@ -136,7 +136,7 @@ func (e *Exchange) Take(initial []int, warmup float64, realization int) (*Snapsh
 		if snap.Queues[k] == 0 {
 			return
 		}
-		w := e.Model.Service[k].Sample(r)
+		w := e.Model.EffectiveService(k).Sample(r)
 		q.Schedule(q.Now()+w, func() {
 			snap.Queues[k]--
 			serve(k)

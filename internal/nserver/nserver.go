@@ -73,6 +73,8 @@ func NewSolver(m *core.Model, cfg Config) (*Solver, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	// Replication folds into the service laws (min-of-k; see core).
+	m = m.EffectiveModel()
 	if cfg.MaxQueue <= 0 {
 		return nil, fmt.Errorf("nserver: Config.MaxQueue must be positive")
 	}

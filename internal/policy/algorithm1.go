@@ -333,5 +333,8 @@ func pairModel(m *core.Model, i, j int) *core.Model {
 			return m.FN(orig[src], orig[dst])
 		}
 	}
+	if m.Repl != nil {
+		sub.Repl = []int{m.ReplFactor(i), m.ReplFactor(j)}
+	}
 	return sub
 }

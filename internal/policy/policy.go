@@ -131,12 +131,39 @@ func evaluate(s *direct.Solver, m1, m2, l12, l21 int, obj Objective, deadline fl
 	}
 }
 
+// evaluateFac is evaluate with explicit per-server replication factors;
+// the zero pair dispatches to the factor-less (model-default) methods —
+// the exact pre-replication call chain, which is what keeps plain
+// Optimize2 output byte-identical to the pre-replication solver.
+func evaluateFac(s *direct.Solver, m1, m2, l12, l21 int, obj Objective, deadline float64, fac [2]int) (float64, error) {
+	if fac == [2]int{} {
+		return evaluate(s, m1, m2, l12, l21, obj, deadline)
+	}
+	switch obj {
+	case ObjMeanTime:
+		return s.MeanTimeRepl(m1, m2, l12, l21, fac)
+	case ObjQoS:
+		return s.QoSRepl(m1, m2, l12, l21, deadline, fac)
+	case ObjReliability:
+		return s.ReliabilityRepl(m1, m2, l12, l21, fac)
+	default:
+		return 0, fmt.Errorf("policy: unknown objective %v", obj)
+	}
+}
+
 // Optimize2 solves problems (3)/(4): it searches the feasible policy
 // lattice {0..m1}×{0..m2} for the DTR policy optimizing the objective,
 // using the canonical-scenario solver for the metric values. The lattice
 // evaluations of each pass are sharded over Options2.Workers goroutines;
 // see Options2.Workers for the bit-identical-to-serial guarantee.
 func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Result2, error) {
+	return optimize2Fac(s, m1, m2, obj, opt, [2]int{})
+}
+
+// optimize2Fac is the Optimize2 search body, parameterized by per-server
+// replication factors. The zero pair is the plain (model-default) search;
+// OptimizeRepl2 runs it once per factor combination.
+func optimize2Fac(s *direct.Solver, m1, m2 int, obj Objective, opt Options2, fac [2]int) (Result2, error) {
 	if m1 < 0 || m2 < 0 {
 		return Result2{}, fmt.Errorf("policy: negative workload (%d, %d)", m1, m2)
 	}
@@ -145,7 +172,7 @@ func Optimize2(s *direct.Solver, m1, m2 int, obj Objective, opt Options2) (Resul
 	}
 
 	sw := &sweep2{
-		s: s, m1: m1, m2: m2, obj: obj, deadline: opt.Deadline,
+		s: s, m1: m1, m2: m2, obj: obj, deadline: opt.Deadline, fac: fac,
 		workers: par.Workers(opt.Workers),
 		best:    Result2{Value: obj.worst(), L12: -1, L21: -1},
 		seen:    make(map[[2]int]bool),
@@ -263,6 +290,7 @@ type sweep2 struct {
 	m1, m2   int
 	obj      Objective
 	deadline float64
+	fac      [2]int // replication factors; zero pair = model default
 	workers  int
 	seen     map[[2]int]bool
 	best     Result2
@@ -313,7 +341,7 @@ func (sw *sweep2) tryAll(pts [][2]int) error {
 		if instrumented {
 			t0 = time.Now()
 		}
-		v, err := evaluate(sw.s, sw.m1, sw.m2, cand[i][0], cand[i][1], sw.obj, sw.deadline)
+		v, err := evaluateFac(sw.s, sw.m1, sw.m2, cand[i][0], cand[i][1], sw.obj, sw.deadline, sw.fac)
 		if err != nil {
 			return err
 		}
@@ -404,11 +432,13 @@ func InitialPolicy(queues []int, lambda []float64) (core.Policy, error) {
 }
 
 // SpeedWeights returns Λ_j = 1/E[W_j], the relative-computing-power
-// criterion of eq. (5).
+// criterion of eq. (5). Under replication the effective per-task law is
+// the min-of-k order statistic, whose smaller mean makes the replicated
+// server proportionally faster in the load-balancing initializer.
 func SpeedWeights(m *core.Model) []float64 {
 	w := make([]float64, m.N())
-	for i, d := range m.Service {
-		w[i] = 1 / d.Mean()
+	for i := range m.Service {
+		w[i] = 1 / m.EffectiveService(i).Mean()
 	}
 	return w
 }

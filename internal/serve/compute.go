@@ -16,6 +16,9 @@ type OptimizeResponse struct {
 	// Value is the achieved optimum on two-server systems; null for
 	// multi-server policies (evaluate those with /v1/simulate).
 	Value Num `json:"value"`
+	// Factors are the chosen per-server replication factors; present
+	// exactly when the request enabled the joint search.
+	Factors []int `json:"factors,omitempty"`
 }
 
 // MetricsResponse answers /v1/metrics (two-server analytic metrics).
@@ -107,14 +110,37 @@ func compute(pr *parsedRequest, workers int, span *obs.Span) (any, error) {
 // schema is owned by package dtr so dtrplan -explain and /v1/explain
 // emit identical documents for identical inputs.
 func computeExplain(sys *dtr.System, pr *parsedRequest) (any, error) {
-	return sys.Explain(dtr.ExplainOptions{
+	opt := dtr.ExplainOptions{
 		Objective: pr.opts.Objective,
 		Deadline:  pr.opts.Deadline,
 		Probe:     pr.opts.Probe,
-	})
+	}
+	if pr.opts.ReplMaxFactor > 1 {
+		opt.Replication = &dtr.ReplicationConfig{
+			MaxFactor: pr.opts.ReplMaxFactor,
+			Budget:    pr.opts.ReplBudget,
+		}
+	}
+	return sys.Explain(opt)
+}
+
+// serveObjective maps the request's objective name onto the policy enum.
+func serveObjective(name string) (dtr.Objective, error) {
+	switch name {
+	case "mean":
+		return dtr.ObjMeanTime, nil
+	case "qos":
+		return dtr.ObjQoS, nil
+	case "reliability":
+		return dtr.ObjReliability, nil
+	}
+	return 0, fmt.Errorf("serve: unknown objective %q", name)
 }
 
 func computeOptimize(sys *dtr.System, pr *parsedRequest) (any, error) {
+	if pr.opts.ReplMaxFactor > 1 {
+		return computeOptimizeReplicated(sys, pr)
+	}
 	var (
 		pol   dtr.Policy
 		value float64
@@ -143,6 +169,27 @@ func computeOptimize(sys *dtr.System, pr *parsedRequest) (any, error) {
 		resp.Value = Num(value)
 	}
 	return resp, nil
+}
+
+func computeOptimizeReplicated(sys *dtr.System, pr *parsedRequest) (any, error) {
+	obj, err := serveObjective(pr.opts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sys.OptimizeReplicated(obj, pr.opts.Deadline, dtr.ReplicationConfig{
+		MaxFactor: pr.opts.ReplMaxFactor,
+		Budget:    pr.opts.ReplBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OptimizeResponse{
+		Objective: pr.opts.Objective,
+		Policy:    dtr.FormatPolicy(plan.Policy),
+		Matrix:    plan.Policy,
+		Value:     Num(plan.Value), // NaN → null for multi-server plans
+		Factors:   plan.Factors,
+	}, nil
 }
 
 func computeMetrics(sys *dtr.System, pr *parsedRequest) (any, error) {

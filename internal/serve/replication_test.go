@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dtr"
+)
+
+// stragglerSpecJSON is a two-server spec whose first server suffers
+// heavy random slowdowns — the scenario where replication pays.
+const stragglerSpecJSON = `{
+  "servers": [
+    {"queue": 12, "service": {"type": "exponential", "mean": 1},
+     "slowdown": {"prob": 0.25, "factor": 10}},
+    {"queue": 6, "service": {"type": "exponential", "mean": 2}}
+  ],
+  "transfer": {"type": "exponential", "perTaskMean": 2}
+}`
+
+// TestOptimizeReplicationEndpoint: a replication block on /v1/optimize
+// runs the joint search and reports the chosen factors; the plan must be
+// at least as good as the plain answer on the same spec.
+func TestOptimizeReplicationEndpoint(t *testing.T) {
+	_, _, ts := newTestService(t, Config{Workers: 2})
+
+	code, plainBody := post(t, ts, "/v1/optimize", reqBody(stragglerSpecJSON, `"grid": 512`))
+	if code != http.StatusOK {
+		t.Fatalf("plain optimize answered %d: %s", code, plainBody)
+	}
+	var plain OptimizeResponse
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Factors != nil {
+		t.Fatalf("plain optimize reported factors: %s", plainBody)
+	}
+
+	code, body := post(t, ts, "/v1/optimize",
+		reqBody(stragglerSpecJSON, `"grid": 512, "replication": {"maxFactor": 3}`))
+	if code != http.StatusOK {
+		t.Fatalf("replicated optimize answered %d: %s", code, body)
+	}
+	var repl OptimizeResponse
+	if err := json.Unmarshal(body, &repl); err != nil {
+		t.Fatal(err)
+	}
+	if len(repl.Factors) != 2 {
+		t.Fatalf("want 2 factors, got %s", body)
+	}
+	if repl.Factors[0] < 1 || repl.Factors[0] > 3 || repl.Factors[1] < 1 || repl.Factors[1] > 3 {
+		t.Fatalf("factors out of range: %v", repl.Factors)
+	}
+	if float64(repl.Value) > float64(plain.Value) {
+		t.Fatalf("joint search value %v worse than plain %v", repl.Value, plain.Value)
+	}
+
+	// maxFactor 1 is the plain search: same policy, same value, and the
+	// same cache entry as a request without the block.
+	code, oneBody := post(t, ts, "/v1/optimize",
+		reqBody(stragglerSpecJSON, `"grid": 512, "replication": {"maxFactor": 1}`))
+	if code != http.StatusOK {
+		t.Fatalf("maxFactor-1 optimize answered %d: %s", code, oneBody)
+	}
+	if !bytes.Equal(oneBody, plainBody) {
+		t.Fatalf("maxFactor-1 answer differs from plain:\n%s\n%s", oneBody, plainBody)
+	}
+}
+
+// TestExplainReplicationEndpoint: /v1/explain with replication carries
+// the replication section (factors + per-combination trade-off curve)
+// and agrees with /v1/optimize on the winning plan.
+func TestExplainReplicationEndpoint(t *testing.T) {
+	_, _, ts := newTestService(t, Config{Workers: 2})
+
+	extra := `"grid": 512, "replication": {"maxFactor": 2}`
+	code, body := post(t, ts, "/v1/explain", reqBody(stragglerSpecJSON, extra))
+	if code != http.StatusOK {
+		t.Fatalf("explain answered %d: %s", code, body)
+	}
+	var ex dtr.Explain
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Replication == nil {
+		t.Fatalf("artifact missing replication section: %s", body)
+	}
+	if ex.Replication.MaxFactor != 2 || len(ex.Replication.Factors) != 2 {
+		t.Fatalf("replication section wrong: %+v", ex.Replication)
+	}
+	if len(ex.Replication.Combos) != 4 {
+		t.Fatalf("want 4 combos at maxFactor 2, got %d", len(ex.Replication.Combos))
+	}
+
+	code, optBody := post(t, ts, "/v1/optimize", reqBody(stragglerSpecJSON, extra))
+	if code != http.StatusOK {
+		t.Fatalf("optimize answered %d: %s", code, optBody)
+	}
+	var opt OptimizeResponse
+	if err := json.Unmarshal(optBody, &opt); err != nil {
+		t.Fatal(err)
+	}
+	if ex.PolicyString != opt.Policy {
+		t.Fatalf("explain policy %q != optimize policy %q", ex.PolicyString, opt.Policy)
+	}
+	if ex.Replication.Factors[0] != opt.Factors[0] || ex.Replication.Factors[1] != opt.Factors[1] {
+		t.Fatalf("explain factors %v != optimize factors %v", ex.Replication.Factors, opt.Factors)
+	}
+
+	// A plain explain on the same spec stays replication-free — the
+	// pre-replication artifact shape is untouched.
+	code, plainBody := post(t, ts, "/v1/explain", reqBody(stragglerSpecJSON, `"grid": 512`))
+	if code != http.StatusOK {
+		t.Fatalf("plain explain answered %d: %s", code, plainBody)
+	}
+	if bytes.Contains(plainBody, []byte(`"replication"`)) {
+		t.Fatalf("plain explain leaked a replication section: %s", plainBody)
+	}
+}
+
+// TestReplicationRequestValidation: malformed replication blocks are
+// HTTP 400 with field-qualified messages.
+func TestReplicationRequestValidation(t *testing.T) {
+	_, _, ts := newTestService(t, Config{Workers: 1})
+
+	cases := []struct {
+		name  string
+		extra string
+		want  string
+	}{
+		{"zero", `"replication": {"maxFactor": 0}`, "replication.maxFactor"},
+		{"negative", `"replication": {"maxFactor": -1}`, "replication.maxFactor"},
+		{"over-cap", `"replication": {"maxFactor": 9}`, "replication.maxFactor"},
+		{"bad-budget", `"replication": {"maxFactor": 2, "budget": -3}`, "replication.budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := post(t, ts, "/v1/optimize", reqBody(stragglerSpecJSON, tc.extra))
+			if code != http.StatusBadRequest {
+				t.Fatalf("answered %d: %s", code, body)
+			}
+			if !bytes.Contains(body, []byte(tc.want)) {
+				t.Fatalf("error %s does not name %s", body, tc.want)
+			}
+		})
+	}
+}

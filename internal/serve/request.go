@@ -15,27 +15,38 @@ import (
 // the verb (fields a verb does not use are ignored and excluded from its
 // cache key):
 //
-//	optimize  grid, objective (mean|qos|reliability), deadline
+//	optimize  grid, objective (mean|qos|reliability), deadline, replication
 //	metrics   grid, policy, deadline
 //	simulate  policy, reps, seed, deadline
 //	bounds    grid, policy, deadline
 //	cdf       grid, policy, points, tmax
-//	explain   grid, objective (mean|qos|reliability), deadline, probe
+//	explain   grid, objective (mean|qos|reliability), deadline, probe, replication
 //
 // timeoutMs bounds how long this caller waits for the result; the server
 // clamps it to its -timeout flag.
 type Request struct {
-	Spec      json.RawMessage `json:"spec"`
-	Grid      int             `json:"grid,omitempty"`
-	Policy    string          `json:"policy,omitempty"`
-	Objective string          `json:"objective,omitempty"`
-	Deadline  float64         `json:"deadline,omitempty"`
-	Reps      int             `json:"reps,omitempty"`
-	Seed      uint64          `json:"seed,omitempty"`
-	Points    int             `json:"points,omitempty"`
-	Tmax      float64         `json:"tmax,omitempty"`
-	Probe     bool            `json:"probe,omitempty"`
-	TimeoutMS int             `json:"timeoutMs,omitempty"`
+	Spec        json.RawMessage `json:"spec"`
+	Grid        int             `json:"grid,omitempty"`
+	Policy      string          `json:"policy,omitempty"`
+	Objective   string          `json:"objective,omitempty"`
+	Deadline    float64         `json:"deadline,omitempty"`
+	Reps        int             `json:"reps,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	Points      int             `json:"points,omitempty"`
+	Tmax        float64         `json:"tmax,omitempty"`
+	Probe       bool            `json:"probe,omitempty"`
+	Replication *ReplRequest    `json:"replication,omitempty"`
+	TimeoutMS   int             `json:"timeoutMs,omitempty"`
+}
+
+// ReplRequest switches optimize/explain to the joint
+// reallocation+replication search: each task on server k may run as up
+// to maxFactor cancel-on-first-complete copies, with at most budget
+// extra copies across the whole plan (0 = unconstrained). maxFactor 1
+// (or an absent block) is the plain search.
+type ReplRequest struct {
+	MaxFactor int `json:"maxFactor"`
+	Budget    int `json:"budget,omitempty"`
 }
 
 // Request size/range guards: a public planning endpoint must not let one
@@ -46,6 +57,10 @@ const (
 	maxGrid   = 1 << 17
 	maxReps   = 1_000_000
 	maxPoints = 10_000
+	// maxReplFactor is tighter than modelspec's cap: the optimizer's
+	// factor search is combinatorial in maxFactor, so a public endpoint
+	// bounds it harder than a declared (fixed) per-server factor.
+	maxReplFactor = 8
 )
 
 // badRequest is a client-caused failure (HTTP 400).
@@ -71,6 +86,11 @@ type canonOpts struct {
 	Points    int     `json:"points,omitempty"`
 	Tmax      float64 `json:"tmax,omitempty"`
 	Probe     bool    `json:"probe,omitempty"`
+	// Replication fields are set only when the request enables the joint
+	// search (maxFactor > 1), so plain requests keep their pre-replication
+	// cache keys.
+	ReplMaxFactor int `json:"replMaxFactor,omitempty"`
+	ReplBudget    int `json:"replBudget,omitempty"`
 }
 
 // parsedRequest is a fully validated request, ready to compute: the spec
@@ -165,6 +185,19 @@ func parseRequest(verb string, req *Request) (*parsedRequest, error) {
 		pr.opts.Objective = obj
 		if verb == "explain" {
 			pr.opts.Probe = req.Probe
+		}
+		if req.Replication != nil {
+			mf := req.Replication.MaxFactor
+			if mf < 1 || mf > maxReplFactor {
+				return nil, badRequestf("replication.maxFactor: must be in [1, %d], got %d", maxReplFactor, mf)
+			}
+			if req.Replication.Budget < 0 {
+				return nil, badRequestf("replication.budget: must be non-negative (0 = unconstrained), got %d", req.Replication.Budget)
+			}
+			if mf > 1 {
+				pr.opts.ReplMaxFactor = mf
+				pr.opts.ReplBudget = req.Replication.Budget
+			}
 		}
 	case "metrics":
 		if err := needTwoServer(); err != nil {

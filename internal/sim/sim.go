@@ -41,6 +41,10 @@ type Outcome struct {
 	BusyTime []float64
 	// FailuresSeen counts servers that failed before the run ended.
 	FailuresSeen int
+	// CopiesCancelled counts replicated service copies cancelled because
+	// a sibling copy finished first (cancel-on-first-complete). Always 0
+	// when no server has a replication factor above 1.
+	CopiesCancelled int
 }
 
 // Rebalancer re-runs a DTR decision periodically during execution,
@@ -107,7 +111,10 @@ func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *t
 	out := Outcome{Served: make([]int, n), BusyTime: make([]float64, n)}
 	remainingGroups := make([]int, n) // groups still heading to each server
 
-	serviceEv := make([]*des.Event, n)
+	// serviceEvs[k] holds the pending service-copy events of the task in
+	// service at server k: one event normally, Repl[k] events under
+	// replication (the first to fire cancels its siblings).
+	serviceEvs := make([][]*des.Event, n)
 	serviceStart := make([]float64, n)
 	serviceAged := make([]bool, n)
 	type inflightXfer struct {
@@ -142,27 +149,46 @@ func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *t
 		if !st.Up[k] || st.Queue[k] == 0 {
 			return
 		}
+		c := m.ReplFactor(k)
 		d := m.Service[k]
 		if aged > 0 {
+			// On a state resume the task's copies were launched together,
+			// so every copy's residual law carries the same age.
 			d = d.Aged(aged)
 		}
-		w := d.Sample(r)
 		agedDraw := aged > 0
 		serviceStart[k] = q.Now()
 		serviceAged[k] = agedDraw
-		serviceEv[k] = q.Schedule(q.Now()+w, func() {
-			serviceEv[k] = nil
-			st.Queue[k]--
-			out.Served[k]++
-			out.BusyTime[k] += w
-			if !agedDraw {
-				tr.emit(q.Now(), trace.Event{Kind: trace.KindService, Server: k, Value: w})
-			}
-			if st.Queue[k] > 0 {
-				scheduleService(k, 0)
-			}
-			checkDone()
-		})
+		// Spawn c i.i.d. copies; the first completion wins and cancels
+		// its siblings (cancel-on-first-complete). For c = 1 this is
+		// exactly one draw and one event — the pre-replication stream.
+		evs := make([]*des.Event, c)
+		for i := 0; i < c; i++ {
+			i, w := i, d.Sample(r)
+			evs[i] = q.Schedule(q.Now()+w, func() {
+				for j, e := range evs {
+					if j != i && e != nil {
+						q.Cancel(e)
+						out.CopiesCancelled++
+					}
+				}
+				serviceEvs[k] = nil
+				st.Queue[k]--
+				out.Served[k]++
+				out.BusyTime[k] += w
+				if !agedDraw && c == 1 {
+					// Replicated completions are min-of-k draws, not
+					// samples of the fresh service law the fitters
+					// estimate, so only factor-1 draws are traced.
+					tr.emit(q.Now(), trace.Event{Kind: trace.KindService, Server: k, Value: w})
+				}
+				if st.Queue[k] > 0 {
+					scheduleService(k, 0)
+				}
+				checkDone()
+			})
+		}
+		serviceEvs[k] = evs
 	}
 
 	// Failure clocks.
@@ -192,10 +218,12 @@ func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *t
 			if !agedY {
 				tr.emit(q.Now(), trace.Event{Kind: trace.KindFailure, Server: k, Value: y})
 			}
-			if serviceEv[k] != nil {
-				q.Cancel(serviceEv[k])
-				serviceEv[k] = nil
+			for _, e := range serviceEvs[k] {
+				if e != nil {
+					q.Cancel(e)
+				}
 			}
+			serviceEvs[k] = nil
 			if st.Queue[k] > 0 || remainingGroups[k] > 0 {
 				doomed = true
 				out.Time = q.Now()
@@ -274,7 +302,7 @@ func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *t
 						}
 						// The task in service cannot be shipped.
 						shippable := st.Queue[i]
-						if serviceEv[i] != nil {
+						if len(serviceEvs[i]) > 0 {
 							shippable--
 						}
 						for j := range pol[i] {
@@ -321,7 +349,7 @@ func RunTraced(m *core.Model, s *core.State, r *rand.Rand, rb *Rebalancer, tw *t
 		// realized durations exceed the recorded elapsed values.
 		end := q.Now()
 		for k := 0; k < n; k++ {
-			if serviceEv[k] != nil && !serviceAged[k] {
+			if len(serviceEvs[k]) == 1 && !serviceAged[k] {
 				tr.emit(end, trace.Event{Kind: trace.KindService, Server: k,
 					Value: end - serviceStart[k], Censored: true})
 			}

@@ -398,7 +398,7 @@ func (s *node) serviceLoop() {
 			}
 		}
 		w := s.sampleDist(func() float64 {
-			return s.tb.Model.Service[s.id].Sample(s.rng)
+			return s.tb.Model.EffectiveService(s.id).Sample(s.rng)
 		})
 		began := time.Now()
 		if !s.sleep(w) {

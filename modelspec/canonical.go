@@ -120,6 +120,18 @@ func (s *SystemSpec) Canonical() (*SystemSpec, error) {
 				ns.Failure = &nf
 			}
 		}
+		// Identity modifiers are the same as none: a prob-0 or factor-1
+		// slowdown leaves the law unchanged, and replicate 1 is no
+		// replication — drop them so such specs fingerprint identically
+		// to specs that omit the blocks.
+		if srv.Slowdown != nil && srv.Slowdown.Prob > 0 && srv.Slowdown.Factor != 1 {
+			sd := *srv.Slowdown
+			ns.Slowdown = &sd
+		}
+		if srv.Replicate != nil && *srv.Replicate != 1 {
+			k := *srv.Replicate
+			ns.Replicate = &k
+		}
 		c.Servers = append(c.Servers, ns)
 	}
 	c.Transfer = TransferSpec{

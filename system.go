@@ -2,6 +2,7 @@ package dtr
 
 import (
 	"fmt"
+	"math"
 
 	"dtr/internal/core"
 	"dtr/internal/direct"
@@ -106,10 +107,20 @@ func (s *System) Initial() []int { return append([]int(nil), s.initial...) }
 
 // direct returns (building lazily) the canonical-scenario solver.
 func (s *System) directSolver() (*direct.Solver, error) {
+	return s.solverWithFactor(1)
+}
+
+// solverWithFactor returns the canonical-scenario solver with prefix
+// tables covering replication factors up to maxFac, rebuilding the cached
+// solver when a bigger factor is first requested. The factor-1 tables of
+// the bigger solver are byte-identical to a factor-less build (the
+// construction order is server-major, factor-minor), so plain metric
+// calls are unaffected by the rebuild.
+func (s *System) solverWithFactor(maxFac int) (*direct.Solver, error) {
 	if s.model.N() != 2 {
 		return nil, fmt.Errorf("dtr: analytic metrics cover two-server systems; use Simulate or Algorithm1 for %d servers", s.model.N())
 	}
-	if s.solver == nil {
+	if s.solver == nil || s.solver.MaxFactor() < maxFac {
 		maxQ := s.initial[0] + s.initial[1]
 		sv, err := direct.NewSolver(s.model, direct.Config{
 			N:          s.GridN,
@@ -117,6 +128,7 @@ func (s *System) directSolver() (*direct.Solver, error) {
 			MaxQueue:   [2]int{maxQ, maxQ},
 			Span:       s.Span,
 			ErrorProbe: s.ErrorProbe,
+			MaxFactor:  maxFac,
 		})
 		if err != nil {
 			return nil, err
@@ -198,10 +210,12 @@ func (s *System) CompletionCDF(p Policy) (func(float64) float64, error) {
 			return 0
 		}
 		pos := t / dx
-		i := int(pos)
-		if i >= len(cdf)-1 {
+		// Compare before converting: int(pos) overflows for huge t
+		// (e.g. the auto-tmax probe evaluates the curve at 1e18).
+		if pos >= float64(len(cdf)-1) {
 			return cdf[len(cdf)-1]
 		}
+		i := int(pos)
 		frac := pos - float64(i)
 		return cdf[i] + frac*(cdf[i+1]-cdf[i])
 	}, nil
@@ -243,6 +257,79 @@ func (s *System) optimize(obj policy.Objective, deadline float64) (Policy, float
 	// Multi-server values come from simulation; callers wanting the
 	// value should Simulate the returned policy. Report NaN-free zero.
 	return p, 0, nil
+}
+
+// ReplicationConfig bounds the joint reallocation+replication search:
+// how many cancel-on-first-complete copies a server may run per task
+// (MaxFactor) and how many extra copies the whole plan may spend
+// (Budget; ≤ 0 = unconstrained). See policy.OptimizeRepl2 and
+// policy.Algorithm1Repl.
+type ReplicationConfig struct {
+	// MaxFactor caps the per-server replication factor (1 = no
+	// replication; the search degenerates to the plain optimizers).
+	MaxFactor int
+	// Budget caps Σ_k (factor_k − 1), the total extra copies.
+	Budget int
+}
+
+// ReplicatedPlan is the outcome of a joint search: the reallocation
+// policy, the per-server replication factors (entry k is server k's
+// factor, 1 = unreplicated), and the achieved objective value
+// (NaN for multi-server plans, whose values come from simulation).
+type ReplicatedPlan struct {
+	Policy  Policy
+	Factors []int
+	Value   float64
+	// Evaluations counts lattice evaluations across every factor
+	// combination (two-server plans only).
+	Evaluations int
+}
+
+// OptimizeReplicated searches jointly over task reallocation and
+// per-server replication factors. Two-server systems get the exact
+// per-combination Optimize2 sweep (ties favor fewer copies: a plan
+// replicates only when strictly better); multi-server systems run
+// Algorithm 1 and then assign the copy budget greedily by marginal
+// expected-service-time gain. With cfg.MaxFactor ≤ 1 the result is
+// exactly the plain optimizer's policy with all factors 1.
+func (s *System) OptimizeReplicated(obj Objective, deadline float64, cfg ReplicationConfig) (*ReplicatedPlan, error) {
+	if obj == ObjQoS && deadline <= 0 {
+		return nil, fmt.Errorf("dtr: ObjQoS requires a positive deadline")
+	}
+	maxFac := cfg.MaxFactor
+	if maxFac < 1 {
+		maxFac = 1
+	}
+	if s.model.N() == 2 {
+		sv, err := s.solverWithFactor(maxFac)
+		if err != nil {
+			return nil, err
+		}
+		res, err := policy.OptimizeRepl2(sv, s.initial[0], s.initial[1], obj, policy.ReplOptions2{
+			Options2:  policy.Options2{Deadline: deadline, Workers: s.Workers, Span: s.Span},
+			MaxFactor: maxFac,
+			Budget:    cfg.Budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &ReplicatedPlan{
+			Policy:      Policy2(res.L12, res.L21),
+			Factors:     []int{res.Factors[0], res.Factors[1]},
+			Value:       res.Value,
+			Evaluations: res.Evaluations,
+		}, nil
+	}
+	p, factors, err := policy.Algorithm1Repl(s.model, s.initial, policy.Alg1Options{
+		Objective: obj,
+		Deadline:  deadline,
+		Workers:   s.Workers,
+		Span:      s.Span,
+	}, maxFac, cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicatedPlan{Policy: p, Factors: factors, Value: math.NaN()}, nil
 }
 
 // Objective selects the optimization target for Algorithm1.
