@@ -6,6 +6,8 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +15,7 @@ import (
 
 	"dtr/dist"
 	"dtr/internal/adapt"
+	"dtr/internal/ingest"
 	"dtr/internal/rngutil"
 	"dtr/internal/trace"
 	"dtr/modelspec"
@@ -63,17 +66,20 @@ func TestExitClassification(t *testing.T) {
 	writeTrace(t, tr, 5)
 
 	usage := [][]string{
-		{"-trace", tr},                              // no -queues
-		{"-queues", "12,6"},                         // no -trace
-		{"-trace", tr, "-queues", "12,6"},           // neither -once nor -follow
+		{"-trace", tr},                    // no -queues
+		{"-queues", "12,6"},               // no -trace
+		{"-trace", tr, "-queues", "12,6"}, // neither -once nor -follow
 		{"-trace", tr, "-queues", "12,6", "-once", "-follow"},
-		{"-trace", tr, "-queues", "12,x", "-once"},  // bad queues
-		{"-trace", tr, "-queues", "-3,6", "-once"},  // negative queue
+		{"-trace", tr, "-queues", "12,x", "-once"}, // bad queues
+		{"-trace", tr, "-queues", "-3,6", "-once"}, // negative queue
 		{"-trace", tr, "-queues", "12,6", "-once", "-families", "cauchy"},
 		{"-trace", tr, "-queues", "12,6", "-once", "-workers", "-2"},
 		{"-trace", tr, "-queues", "12,6", "-once", "-objective", "qos"}, // no deadline
 		{"-trace", tr, "-queues", "12,6", "-once", "extra"},
 		{"-no-such-flag"},
+		{"-trace", tr, "-ingest", "http://x", "-queues", "12,6", "-once"}, // both sources
+		{"-ingest", "http://x", "-queues", "12,6", "-once"},               // no -tenant
+		{"-trace", tr, "-tenant", "acme", "-queues", "12,6", "-once"},     // -tenant without -ingest
 	}
 	for _, args := range usage {
 		err := run(args, io.Discard)
@@ -152,5 +158,67 @@ func TestOnce(t *testing.T) {
 	}
 	if strings.TrimSpace(string(pol)) != d.PolicyString {
 		t.Errorf("-policy-out %q != decision policy %q", pol, d.PolicyString)
+	}
+}
+
+// TestOnceIngest runs the batch mode against a live ingest daemon
+// instead of a trace file: the controller fetches one statistics
+// snapshot and replans on the bounded-memory paths.
+func TestOnceIngest(t *testing.T) {
+	agg := ingest.New(ingest.Config{})
+	r := rngutil.Stream(92, 0)
+	for i := 0; i < 400; i++ {
+		for s, m := range []float64{4, 2} {
+			ev := trace.Event{Kind: trace.KindService, Server: s,
+				Value: dist.NewExponential(m).Sample(r)}
+			if err := agg.Observe("acme", ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev := trace.Event{Kind: trace.KindTransfer, Src: 0, Dst: 1, Tasks: 2,
+			Value: dist.NewExponential(2).Sample(r)}
+		if err := agg.Observe("acme", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mux := http.NewServeMux()
+	ingest.NewServer(agg, nil, 0).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-ingest", ts.URL, "-tenant", "acme", "-queues", "12,6", "-once",
+		"-families", "exponential,gamma", "-grid", "1024",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -ingest -once: %v", err)
+	}
+	var d adapt.Decision
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("decision output is not JSON: %v\n%s", err, out.String())
+	}
+	if d.Reason != "forced" {
+		t.Errorf("reason = %q, want forced", d.Reason)
+	}
+	if d.Spec == nil || len(d.Spec.Servers) != 2 {
+		t.Fatalf("decision has no 2-server spec")
+	}
+	svc, err := d.Spec.Servers[0].Service.Dist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := svc.Mean(); m < 3 || m > 5 {
+		t.Errorf("fitted service[0] mean = %.2f, want near 4", m)
+	}
+	if len(d.Policy) != 2 || d.PolicyString == "" {
+		t.Errorf("decision has no 2-server policy: %+v", d.Policy)
+	}
+
+	// An unknown tenant is a runtime error, not usage.
+	err = run([]string{"-ingest", ts.URL, "-tenant", "ghost",
+		"-queues", "12,6", "-once"}, io.Discard)
+	if err == nil || errors.Is(err, errUsage) {
+		t.Errorf("unknown tenant: %v, want plain runtime error", err)
 	}
 }

@@ -8,6 +8,7 @@
 //	dtradapt -trace run.jsonl -queues 50,25 -once
 //	dtradapt -trace run.jsonl -queues 50,25 -follow
 //	dtradapt -trace run.jsonl -queues 50,25 -once -server http://127.0.0.1:8080
+//	dtradapt -ingest http://127.0.0.1:9120 -tenant acme -queues 50,25 -once
 //
 // -once ingests the whole trace, fits, replans once and prints the
 // decision as JSON. -follow tails the trace like `tail -f`, bootstraps
@@ -15,10 +16,16 @@
 // emits one JSON decision line per detected drift until interrupted.
 // With -server, fitting and planning go through a dtrserved instance
 // (POST /v1/fit and /v1/optimize); otherwise both run in-process.
+//
+// With -ingest (instead of -trace), the controller polls a dtringest
+// daemon's /v1/snapshot for one tenant's windowed sufficient statistics
+// and fits on the bounded-memory closed-form/sketch paths — no raw
+// events cross the wire. -once fetches one snapshot and replans;
+// -follow polls every -poll interval, bootstrapping and drift-checking
+// each snapshot.
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,7 +66,9 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dtradapt", flag.ContinueOnError)
-	tracePath := fs.String("trace", "", "JSONL trace to read (required)")
+	tracePath := fs.String("trace", "", "JSONL trace to read (this or -ingest is required)")
+	ingestURL := fs.String("ingest", "", "dtringest base URL; statistics snapshots replace the raw trace")
+	tenant := fs.String("tenant", "", "tenant to poll from the ingest daemon (required with -ingest)")
 	queuesFlag := fs.String("queues", "", "initial allocation, comma-separated, e.g. 50,25 (required)")
 	objective := fs.String("objective", "mean", "replanning objective: mean, qos or reliability")
 	deadline := fs.Float64("deadline", 0, "QoS deadline (required with -objective qos)")
@@ -79,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	workers := par.BindFlag(fs)
 	obsCfg := obs.BindFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtradapt -trace run.jsonl -queues 50,25 <-once|-follow> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dtradapt <-trace run.jsonl | -ingest URL -tenant T> -queues 50,25 <-once|-follow> [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,9 +105,21 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
-	if *tracePath == "" || *queuesFlag == "" {
+	if *queuesFlag == "" {
 		fs.Usage()
-		return fmt.Errorf("%w: -trace and -queues are required", errUsage)
+		return fmt.Errorf("%w: -queues is required", errUsage)
+	}
+	if (*tracePath == "") == (*ingestURL == "") {
+		fs.Usage()
+		return fmt.Errorf("%w: exactly one of -trace or -ingest", errUsage)
+	}
+	if *ingestURL != "" && *tenant == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: -ingest needs -tenant", errUsage)
+	}
+	if *tenant != "" && *ingestURL == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: -tenant only applies with -ingest", errUsage)
 	}
 	if *once == *follow {
 		fs.Usage()
@@ -145,9 +166,16 @@ func run(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	if *once {
+	switch {
+	case *ingestURL != "" && *once:
+		src := &adapt.IngestSource{BaseURL: strings.TrimRight(*ingestURL, "/"), Tenant: *tenant}
+		err = runOnceIngest(ctx, ctrl, src, sink)
+	case *ingestURL != "":
+		src := &adapt.IngestSource{BaseURL: strings.TrimRight(*ingestURL, "/"), Tenant: *tenant}
+		err = runFollowIngest(ctx, ctrl, src, *poll, sink)
+	case *once:
 		err = runOnce(ctx, ctrl, *tracePath, sink)
-	} else {
+	default:
 		err = runFollow(ctx, ctrl, *tracePath, *poll, sink)
 	}
 	if oerr := obsCfg.Stop(); oerr != nil && err == nil {
@@ -242,37 +270,70 @@ func runOnce(ctx context.Context, ctrl *adapt.Controller, path string, sink *dec
 	return sink.emit(d, true)
 }
 
+// runOnceIngest fetches one statistics snapshot and performs one forced
+// fit + replan on the bounded-memory paths.
+func runOnceIngest(ctx context.Context, ctrl *adapt.Controller, src *adapt.IngestSource, sink *decisionSink) error {
+	snap, err := src.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	d, err := ctrl.RefitStats(ctx, snap.Stats)
+	if err != nil {
+		return err
+	}
+	return sink.emit(d, true)
+}
+
+// runFollowIngest polls snapshots until the context is cancelled. Fetch
+// failures are transient (the daemon may be restarting, the tenant not
+// yet seen): log and keep polling, like runFollow's fit errors.
+func runFollowIngest(ctx context.Context, ctrl *adapt.Controller, src *adapt.IngestSource, poll time.Duration, sink *decisionSink) error {
+	for {
+		snap, err := src.Snapshot(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			fmt.Fprintf(os.Stderr, "dtradapt: %s: %v\n", src.Tenant, err)
+		} else {
+			d, oerr := ctrl.ObserveStats(ctx, snap.Stats)
+			if oerr != nil {
+				fmt.Fprintf(os.Stderr, "dtradapt: %s: %v\n", src.Tenant, oerr)
+			} else if d != nil {
+				if eerr := sink.emit(d, false); eerr != nil {
+					return eerr
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(poll):
+		}
+	}
+}
+
 // runFollow tails the trace until the context is cancelled, feeding
-// complete lines to the controller and emitting every decision.
+// complete lines to the controller and emitting every decision. The
+// tail reader holds a torn final line (a writer mid-append) until its
+// newline lands, so partial writes never surface as parse errors.
 func runFollow(ctx context.Context, ctrl *adapt.Controller, path string, poll time.Duration, sink *decisionSink) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	var pending []byte
-	line := 0
+	r := trace.NewTailReader(f)
 	for {
-		chunk, err := r.ReadBytes('\n')
-		pending = append(pending, chunk...)
+		ev, err := r.Next()
 		switch {
 		case err == nil:
-			line++
-			text := strings.TrimSpace(string(pending))
-			pending = pending[:0]
-			if text == "" {
-				continue
-			}
-			var ev trace.Event
-			if jerr := json.Unmarshal([]byte(text), &ev); jerr != nil {
-				return fmt.Errorf("%s:%d: %v", path, line, jerr)
-			}
 			d, oerr := ctrl.Observe(ctx, ev)
 			if oerr != nil {
 				// A fit that cannot converge on this window is transient:
-				// log and keep tailing. Malformed events are fatal.
-				fmt.Fprintf(os.Stderr, "dtradapt: %s:%d: %v\n", path, line, oerr)
+				// log and keep tailing. Malformed events are fatal (the
+				// reader already returned them as errors above).
+				fmt.Fprintf(os.Stderr, "dtradapt: %s: %v\n", path, oerr)
 				continue
 			}
 			if d != nil {
@@ -287,7 +348,7 @@ func runFollow(ctx context.Context, ctrl *adapt.Controller, path string, poll ti
 			case <-time.After(poll):
 			}
 		default:
-			return err
+			return fmt.Errorf("%s: %w", path, err)
 		}
 	}
 }

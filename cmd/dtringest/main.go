@@ -1,0 +1,202 @@
+// Command dtringest is the streaming observation ingest daemon: many
+// emitters (simulators, testbeds, production probes) send delay,
+// failure and transfer observations over UDP and HTTP; the daemon
+// folds them — keyed by tenant — into bounded-memory windowed
+// sufficient statistics (dist/fit.StatsSet) and serves snapshots that
+// drive the §III-B censored-MLE refit downstream:
+//
+//	dtringest -http 127.0.0.1:9120 -udp 127.0.0.1:9125
+//	echo "acme/service.0 1.52" | nc -u -w0 127.0.0.1 9125
+//	curl -s 'localhost:9120/v1/snapshot?tenant=acme'
+//	dtradapt -ingest http://127.0.0.1:9120 -tenant acme -queues 50,25 -once
+//
+// Wire formats (README "Ingest", DESIGN.md §11): the compact line
+// protocol `tenant/channel value [c]` over UDP datagrams and HTTP
+// batches, plus trace.v1 JSONL events (POST /v1/ingest?tenant=...) for
+// compatibility with existing captures.
+//
+// Endpoints: POST /v1/ingest, GET /v1/snapshot?tenant=, GET /healthz
+// (503 once draining). Telemetry rides on the same listener: /metrics,
+// /metrics.json, /debug/vars, /debug/requests and — with -pprof —
+// /debug/pprof/.
+//
+// SIGTERM/SIGINT drain gracefully: /healthz flips to 503, the UDP and
+// HTTP listeners close, and the process exits 0. Aggregated statistics
+// are in-memory only; consumers poll snapshots, so a restart costs at
+// most one ring of windows.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dtr/internal/ingest"
+	"dtr/internal/obs"
+)
+
+// errUsage marks flag/configuration errors: usage on stderr and exit
+// status 2, matching the other CLIs' audited convention.
+var errUsage = errors.New("usage error")
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "dtringest: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtringest", flag.ContinueOnError)
+	httpAddr := fs.String("http", "127.0.0.1:9120", "HTTP listen address (\":0\" picks a free port)")
+	udpAddr := fs.String("udp", "127.0.0.1:9125", "UDP listen address for line-protocol datagrams (\"\" disables UDP)")
+	addrFile := fs.String("addr-file", "", "write the bound HTTP address to this file once listening (for scripts driving \":0\")")
+	udpAddrFile := fs.String("udp-addr-file", "", "write the bound UDP address to this file once listening")
+	window := fs.Duration("window", ingest.DefaultWindow, "one aggregation window's span")
+	windows := fs.Int("windows", ingest.DefaultWindows, "ring length: how many windows a snapshot covers")
+	buckets := fs.Int("buckets", 0, "sketch buckets per channel (0 = dist/fit default)")
+	maxChannels := fs.Int("max-channels", ingest.DefaultMaxChannels, "cap on live (tenant, channel) pairs; observations beyond it are dropped")
+	maxBody := fs.Int64("max-body", 4<<20, "HTTP ingest batch size cap in bytes; beyond it requests get 413")
+	sweep := fs.Duration("sweep", 0, "maintenance sweep interval: stale-channel gauges, idle-tenant eviction (0 = one window)")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before exiting")
+	withPProf := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP listener")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error or off")
+	withTrace := fs.Bool("trace", true, "trace snapshot requests: span trees on /debug/requests, W3C traceparent in and out")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtringest [-http :9120] [-udp :9125] [-window 1m] [-windows 5] ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: unexpected argument %q", errUsage, fs.Arg(0))
+	}
+	if *window <= 0 || *windows <= 0 || *drain <= 0 {
+		fs.Usage()
+		return fmt.Errorf("%w: -window, -windows and -drain-timeout must be positive", errUsage)
+	}
+
+	// One registry for the whole process: the ingest counters plus the
+	// trace-layer handles bind to it via SetDefault.
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	if *logLevel != "" && *logLevel != "off" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		obs.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	}
+	var tracer *obs.Tracer
+	if *withTrace {
+		tracer = obs.NewTracer(obs.TracerConfig{})
+		obs.SetTracer(tracer)
+	}
+
+	agg := ingest.New(ingest.Config{
+		Window: *window, Windows: *windows,
+		Buckets: *buckets, MaxChannels: *maxChannels,
+	})
+	srv := ingest.NewServer(agg, tracer, *maxBody)
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	obs.Register(mux, reg, *withPProf)
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("listen http %s: %w", *httpAddr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
+			_ = ln.Close()
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	udpErr := make(chan error, 1)
+	if *udpAddr != "" {
+		conn, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("listen udp %s: %w", *udpAddr, err)
+		}
+		if *udpAddrFile != "" {
+			if err := writeAddrFile(*udpAddrFile, conn.LocalAddr().String()); err != nil {
+				_ = ln.Close()
+				_ = conn.Close()
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dtringest: udp on %s\n", conn.LocalAddr())
+		go func() { udpErr <- srv.ServeUDP(ctx, conn) }()
+	}
+	go srv.RunSweeper(ctx, *sweep)
+
+	fmt.Fprintf(os.Stderr, "dtringest: listening on http://%s\n", bound)
+	obs.Logger().Info("dtringest up", "http", bound, "udp", *udpAddr,
+		"window", *window, "windows", *windows)
+
+	hs := &http.Server{Handler: mux}
+	// The instant Shutdown begins, /healthz reports draining so load
+	// balancers pull this instance before its listener disappears.
+	hs.RegisterOnShutdown(srv.StartDrain)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case err := <-udpErr:
+		if err != nil {
+			return err
+		}
+		<-ctx.Done()
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	obs.Logger().Info("dtringest draining", "timeout", *drain)
+	fmt.Fprintln(os.Stderr, "dtringest: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	obs.Logger().Info("dtringest stopped")
+	return nil
+}
+
+// writeAddrFile atomically publishes a bound address so scripts that
+// started us on ":0" can find the port (write temp + rename: a reader
+// never sees a partial file).
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -10,6 +10,7 @@
 //	dashboards/dtr-serve.json          service traffic, latency, cache, admission
 //	dashboards/dtr-solver.json         solver throughput and the adapt loop
 //	dashboards/dtr-solver-health.json  numerical error budgets and convergence health
+//	dashboards/dtr-ingest.json         streaming ingest intake, rejections, staleness
 //	dashboards/alerts.yml              Prometheus alerting rules
 package dashboards
 
@@ -17,11 +18,11 @@ import "embed"
 
 // FS holds the dashboard JSON documents and the alert rules.
 //
-//go:embed dtr-serve.json dtr-solver.json dtr-solver-health.json alerts.yml
+//go:embed dtr-serve.json dtr-solver.json dtr-solver-health.json dtr-ingest.json alerts.yml
 var FS embed.FS
 
 // Dashboards lists the embedded Grafana dashboard files.
-var Dashboards = []string{"dtr-serve.json", "dtr-solver.json", "dtr-solver-health.json"}
+var Dashboards = []string{"dtr-serve.json", "dtr-solver.json", "dtr-solver-health.json", "dtr-ingest.json"}
 
 // AlertRules is the embedded Prometheus rule file.
 const AlertRules = "alerts.yml"

@@ -150,6 +150,11 @@ func TestDashboardsCoverRequiredSignals(t *testing.T) {
 		"dtr_policy_sweep_coverage",
 		"dtr_adapt_drift_ks",
 		"dtr_adapt_drift_rel_mean",
+		"dtr_ingest_events_total",
+		"dtr_ingest_parse_errors_total",
+		"dtr_ingest_drops_total",
+		"dtr_ingest_stale_channels",
+		"dtr_ingest_flush_seconds",
 	} {
 		if !strings.Contains(all.String(), metric) {
 			t.Errorf("no dashboard panel queries %s", metric)

@@ -351,14 +351,15 @@ func (c *Controller) replan(ctx context.Context, events []trace.Event, sm *fit.S
 	return d, nil
 }
 
-// adopt installs a freshly fitted spec as the drift baseline: the
-// materialized per-channel laws and the window observation means.
-func (c *Controller) adopt(spec *modelspec.SystemSpec, sm *fit.Samples) error {
+// rebuildLaws materializes the per-channel laws a fitted spec implies —
+// the drift baselines shared by the raw-window and stats-snapshot
+// adoption paths.
+func rebuildLaws(spec *modelspec.SystemSpec) (map[string]dist.Dist, error) {
 	laws := make(map[string]dist.Dist, len(spec.Servers)+2)
 	for i, srv := range spec.Servers {
 		law, err := srv.Service.Dist()
 		if err != nil {
-			return fmt.Errorf("adapt: rebuild service[%d] law: %w", i, err)
+			return nil, fmt.Errorf("adapt: rebuild service[%d] law: %w", i, err)
 		}
 		laws[fmt.Sprintf("service[%d]", i)] = law
 	}
@@ -369,15 +370,25 @@ func (c *Controller) adopt(spec *modelspec.SystemSpec, sm *fit.Samples) error {
 	}
 	law, err := transferLaw(spec.Transfer)
 	if err != nil {
-		return fmt.Errorf("adapt: rebuild transfer law: %w", err)
+		return nil, fmt.Errorf("adapt: rebuild transfer law: %w", err)
 	}
 	laws["transfer"] = law
 	if spec.FN != nil {
 		law, err := transferLaw(*spec.FN)
 		if err != nil {
-			return fmt.Errorf("adapt: rebuild fn law: %w", err)
+			return nil, fmt.Errorf("adapt: rebuild fn law: %w", err)
 		}
 		laws["fn"] = law
+	}
+	return laws, nil
+}
+
+// adopt installs a freshly fitted spec as the drift baseline: the
+// materialized per-channel laws and the window observation means.
+func (c *Controller) adopt(spec *modelspec.SystemSpec, sm *fit.Samples) error {
+	laws, err := rebuildLaws(spec)
+	if err != nil {
+		return err
 	}
 
 	base := make(map[string]float64)

@@ -1,0 +1,148 @@
+package adapt
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dtr/dist/fit"
+	"dtr/internal/ingest"
+	"dtr/internal/obs"
+	"dtr/internal/rngutil"
+)
+
+// synthStats folds synthEvents into a StatsSet — the statistics a
+// dtringest snapshot would carry for the same synthetic window.
+func synthStats(t *testing.T, r *rand.Rand, n int, svcMean []float64, perTask float64) *fit.StatsSet {
+	t.Helper()
+	set := fit.NewStatsSet(len(svcMean), 0)
+	for _, ev := range synthEvents(r, n, svcMean, perTask) {
+		if err := set.AddEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+// TestControllerStatsBootstrapAndDrift mirrors the raw-window
+// controller tests on the statistics path: an underfilled snapshot is
+// ignored, a full one bootstraps, a statistically identical follow-up
+// stays quiet, and a 3× service-mean shift trips drift on the right
+// channel.
+func TestControllerStatsBootstrapAndDrift(t *testing.T) {
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(nil)
+	c, err := New(Config{
+		Queues: []int{12, 6}, Families: fastFams,
+		MinObs: 30, GridN: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rngutil.Stream(23, 0)
+	ctx := context.Background()
+
+	d, err := c.ObserveStats(ctx, synthStats(t, r, 5, []float64{4, 2}, 1))
+	if err != nil || d != nil {
+		t.Fatalf("underfilled snapshot: d=%+v err=%v, want nil/nil", d, err)
+	}
+	if c.Fitted() {
+		t.Fatal("controller fitted before any channel cleared MinObs")
+	}
+
+	d, err = c.ObserveStats(ctx, synthStats(t, r, 300, []float64{4, 2}, 1))
+	if err != nil {
+		t.Fatalf("bootstrap snapshot: %v", err)
+	}
+	if d == nil || d.Reason != "bootstrap" {
+		t.Fatalf("decision = %+v, want bootstrap", d)
+	}
+	if d.Spec == nil || len(d.Spec.Servers) != 2 {
+		t.Fatalf("bootstrap decision has no 2-server spec")
+	}
+	if err := d.Spec.Validate(); err != nil {
+		t.Errorf("fitted spec invalid: %v", err)
+	}
+	if len(d.Policy) != 2 || d.PolicyString == "" {
+		t.Errorf("no policy in decision: %+v", d.Policy)
+	}
+	if !c.Fitted() {
+		t.Error("controller not marked fitted after stats bootstrap")
+	}
+
+	d, err = c.ObserveStats(ctx, synthStats(t, r, 300, []float64{4, 2}, 1))
+	if err != nil {
+		t.Fatalf("steady snapshot: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("steady snapshot tripped drift: %+v", d)
+	}
+
+	d, err = c.ObserveStats(ctx, synthStats(t, r, 500, []float64{12, 2}, 1))
+	if err != nil {
+		t.Fatalf("drifted snapshot: %v", err)
+	}
+	if d == nil {
+		t.Fatal("no drift decision after a 3× service-mean shift")
+	}
+	if d.Reason != "drift" {
+		t.Errorf("reason = %q, want drift", d.Reason)
+	}
+	if d.Channel != "service[0]" {
+		t.Errorf("drifted channel = %q, want service[0]", d.Channel)
+	}
+	if d.KS <= 0 && d.RelMean <= 0 {
+		t.Errorf("drift decision carries no scores: %+v", d)
+	}
+}
+
+// TestIngestSource drives the source against a live ingest server:
+// snapshot fetch, validation, and the error taxonomy for unknown
+// tenants.
+func TestIngestSource(t *testing.T) {
+	agg := ingest.New(ingest.Config{})
+	r := rngutil.Stream(24, 0)
+	for _, ev := range synthEvents(r, 50, []float64{4, 2}, 1) {
+		if err := agg.Observe("acme", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mux := http.NewServeMux()
+	ingest.NewServer(agg, nil, 0).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	src := &IngestSource{BaseURL: ts.URL, Tenant: "acme"}
+	snap, err := src.Snapshot(context.Background())
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap.Tenant != "acme" || snap.Stats == nil || snap.Stats.Servers != 2 {
+		t.Fatalf("snapshot = %+v, want 2-server acme stats", snap)
+	}
+	if snap.Events == 0 {
+		t.Error("snapshot reports zero events")
+	}
+
+	if _, err := (&IngestSource{BaseURL: ts.URL, Tenant: "ghost"}).Snapshot(context.Background()); err == nil {
+		t.Error("unknown tenant: want error")
+	}
+	if _, err := (&IngestSource{BaseURL: ts.URL}).Snapshot(context.Background()); err == nil {
+		t.Error("missing tenant config: want error")
+	}
+
+	// RefitStats on the fetched snapshot closes the loop in-process.
+	c, err := New(Config{Queues: []int{12, 6}, Families: fastFams, MinObs: 30, GridN: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.RefitStats(context.Background(), snap.Stats)
+	if err != nil {
+		t.Fatalf("RefitStats: %v", err)
+	}
+	if d.Reason != "forced" || len(d.Policy) != 2 {
+		t.Fatalf("decision = %+v, want forced 2-server policy", d)
+	}
+}

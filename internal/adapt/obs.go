@@ -11,4 +11,7 @@ var (
 	adaptDrift   = obs.NewCounter("dtr_adapt_drift_events_total")
 	adaptReplans = obs.NewCounter("dtr_adapt_replans_total")
 	adaptRefit   = obs.NewTimer("dtr_adapt_refit_seconds")
+	// adaptSnapshots counts ingest snapshots fed through the stats path
+	// (the bounded-memory analogue of adaptEvents).
+	adaptSnapshots = obs.NewCounter("dtr_adapt_snapshots_total")
 )

@@ -23,6 +23,9 @@ import (
 // /v1/optimize endpoints).
 type Planner interface {
 	Fit(ctx context.Context, events []trace.Event, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error)
+	// FitStats fits from windowed sufficient statistics (a dtringest
+	// snapshot) instead of raw events — the bounded-memory path.
+	FitStats(ctx context.Context, set *fit.StatsSet, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error)
 	// Plan solves spec and returns the policy with the achieved optimum
 	// (NaN when the solver does not report one).
 	Plan(ctx context.Context, spec *modelspec.SystemSpec) (policy [][]int, value float64, err error)
@@ -43,6 +46,11 @@ type InProcess struct {
 // Fit implements Planner.
 func (p *InProcess) Fit(_ context.Context, events []trace.Event, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error) {
 	return fit.Spec(events, cfg)
+}
+
+// FitStats implements Planner on the sufficient-statistics paths.
+func (p *InProcess) FitStats(_ context.Context, set *fit.StatsSet, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error) {
+	return set.Spec(cfg)
 }
 
 // Plan implements Planner.
@@ -156,6 +164,26 @@ func (p *HTTP) Fit(ctx context.Context, events []trace.Event, cfg fit.Config) (*
 	var resp serve.FitResponse
 	err := p.post(ctx, "/v1/fit", serve.FitRequest{
 		Events: events, Queues: cfg.Queues, Families: fams,
+		MinObs: cfg.MinObs, TimeoutMS: p.TimeoutMS,
+	}, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Spec == nil {
+		return nil, nil, fmt.Errorf("adapt: /v1/fit returned no spec")
+	}
+	return resp.Spec, resp.Report, nil
+}
+
+// FitStats implements Planner via POST /v1/fit with a stats payload.
+func (p *HTTP) FitStats(ctx context.Context, set *fit.StatsSet, cfg fit.Config) (*modelspec.SystemSpec, *fit.Report, error) {
+	var fams []string
+	for _, f := range cfg.Families {
+		fams = append(fams, string(f))
+	}
+	var resp serve.FitResponse
+	err := p.post(ctx, "/v1/fit", serve.FitRequest{
+		Stats: set, Queues: cfg.Queues, Families: fams,
 		MinObs: cfg.MinObs, TimeoutMS: p.TimeoutMS,
 	}, &resp)
 	if err != nil {

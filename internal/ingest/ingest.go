@@ -1,0 +1,339 @@
+// Package ingest is the streaming observation tier: one daemon
+// (cmd/dtringest) absorbing delay/failure/transfer observations from
+// many emitters — simulators, testbeds, production probes — over UDP
+// and HTTP, keyed by tenant, and folding them into *windowed sufficient
+// statistics* (dist/fit.StatsSet) instead of retaining raw events.
+//
+// The design follows the statsd-daemon pattern named in the ROADMAP:
+// a compact line protocol into buffered aggregation, periodic
+// ring-window rotation, and self-monitoring. Memory is
+// O(tenants × channels × windows × buckets) — independent of event
+// volume — because every channel is a fixed-geometry sketch plus a
+// handful of exact accumulators (see dist/fit/stats.go). Snapshots
+// merge the live windows into one StatsSet that dist/fit turns into a
+// §III-B censored-MLE refit, closing the loop as:
+// many emitters → dtringest → per-tenant refit → replan.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dtr/dist/fit"
+	"dtr/internal/trace"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultWindow      = time.Minute
+	DefaultWindows     = 5
+	DefaultMaxChannels = 4096
+)
+
+// SnapshotSchema names the snapshot wire format.
+const SnapshotSchema = "dtr.ingest.v1"
+
+// Config sizes an Aggregator. The zero value is usable.
+type Config struct {
+	// Window is one ring slot's span (0 = 1m).
+	Window time.Duration
+	// Windows is the ring length: how many consecutive windows stay
+	// live; a snapshot covers Windows × Window of history (0 = 5).
+	Windows int
+	// Buckets is the sketch resolution per channel
+	// (0 = fit.DefaultBuckets).
+	Buckets int
+	// MaxChannels caps the total number of live (tenant, channel) pairs;
+	// observations that would create a channel beyond the cap are
+	// dropped and counted (0 = 4096).
+	MaxChannels int
+	// Now supplies the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// chanMeta is one channel's liveness bookkeeping.
+type chanMeta struct {
+	events uint64
+	last   time.Time
+}
+
+// tenantState is one tenant's ring of windowed statistics.
+type tenantState struct {
+	// slots is the window ring; slots[cur] receives new observations.
+	// Stale slots are nil until an observation lands in them.
+	slots []*fit.StatsSet
+	// cur indexes the active slot; slotStart is its window's start,
+	// quantized to the window length.
+	cur       int
+	slotStart time.Time
+	channels  map[string]*chanMeta
+	events    uint64
+	last      time.Time
+}
+
+// Aggregator folds per-tenant observation streams into ring-buffered
+// windowed sufficient statistics. Safe for concurrent use.
+type Aggregator struct {
+	cfg Config
+
+	mu          sync.Mutex
+	tenants     map[string]*tenantState
+	numChannels int
+}
+
+// New builds an Aggregator, applying Config defaults.
+func New(cfg Config) *Aggregator {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = DefaultWindows
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = fit.DefaultBuckets
+	}
+	if cfg.MaxChannels <= 0 {
+		cfg.MaxChannels = DefaultMaxChannels
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Aggregator{cfg: cfg, tenants: make(map[string]*tenantState)}
+}
+
+// channelName is the pooled channel key an event lands in: per-server
+// service./failure. streams, the pooled transfer and fn channels.
+func channelName(ev *trace.Event) string {
+	switch ev.Kind {
+	case trace.KindService:
+		return fmt.Sprintf("service.%d", ev.Server)
+	case trace.KindFailure:
+		return fmt.Sprintf("failure.%d", ev.Server)
+	case trace.KindTransfer:
+		return "transfer"
+	case trace.KindFN:
+		return "fn"
+	default:
+		return ev.Kind
+	}
+}
+
+// ErrChannelLimit reports an observation dropped at the channel cap.
+var ErrChannelLimit = fmt.Errorf("ingest: channel limit reached")
+
+// Observe folds one validated event into tenant's active window. It
+// returns ErrChannelLimit (the observation is dropped, the aggregator
+// stays consistent) when the event would create a channel beyond the
+// configured cap, or the event's own validation error.
+func (a *Aggregator) Observe(tenant string, ev trace.Event) error {
+	if ev.V == 0 {
+		ev.V = trace.Version
+	}
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	now := a.cfg.Now()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{
+			slots:     make([]*fit.StatsSet, a.cfg.Windows),
+			slotStart: now.Truncate(a.cfg.Window),
+			channels:  make(map[string]*chanMeta),
+		}
+		a.tenants[tenant] = ts
+	}
+	a.advance(ts, now)
+
+	name := channelName(&ev)
+	cm := ts.channels[name]
+	if cm == nil && ev.Kind != trace.KindMeta {
+		if a.numChannels >= a.cfg.MaxChannels {
+			return ErrChannelLimit
+		}
+		cm = &chanMeta{}
+		ts.channels[name] = cm
+		a.numChannels++
+	}
+	if ts.slots[ts.cur] == nil {
+		ts.slots[ts.cur] = fit.NewStatsSet(0, a.cfg.Buckets)
+	}
+	if err := ts.slots[ts.cur].AddEvent(ev); err != nil {
+		return err
+	}
+	if cm != nil {
+		cm.events++
+		cm.last = now
+	}
+	ts.events++
+	ts.last = now
+	return nil
+}
+
+// advance rotates the ring so ts.slotStart covers now, clearing every
+// slot whose window has fully expired. Called with the lock held.
+func (a *Aggregator) advance(ts *tenantState, now time.Time) {
+	steps := int(now.Sub(ts.slotStart) / a.cfg.Window)
+	if steps <= 0 {
+		return
+	}
+	if steps >= a.cfg.Windows {
+		// Idle longer than the whole ring: everything expired.
+		for i := range ts.slots {
+			ts.slots[i] = nil
+		}
+		ts.cur = 0
+		ts.slotStart = now.Truncate(a.cfg.Window)
+		return
+	}
+	for i := 0; i < steps; i++ {
+		ts.cur = (ts.cur + 1) % a.cfg.Windows
+		ts.slots[ts.cur] = nil
+		ts.slotStart = ts.slotStart.Add(a.cfg.Window)
+	}
+}
+
+// ChannelInfo is one channel's liveness entry in a snapshot.
+type ChannelInfo struct {
+	Channel string `json:"channel"`
+	Events  uint64 `json:"events"`
+	// AgeSeconds is the time since the channel's last observation.
+	AgeSeconds float64 `json:"ageSeconds"`
+}
+
+// Snapshot is the wire format of one tenant's live statistics: the
+// merge of every ring window, ready for fit.StatsSet.Spec.
+type Snapshot struct {
+	V             int           `json:"v"`
+	Schema        string        `json:"schema"`
+	Tenant        string        `json:"tenant"`
+	WindowSeconds float64       `json:"windowSeconds"`
+	Windows       int           `json:"windows"`
+	Events        uint64        `json:"events"`
+	Stats         *fit.StatsSet `json:"stats"`
+	Channels      []ChannelInfo `json:"channels,omitempty"`
+}
+
+// Validate checks a decoded snapshot.
+func (s *Snapshot) Validate() error {
+	if s.Schema != SnapshotSchema {
+		return fmt.Errorf("ingest: unknown snapshot schema %q (want %q)", s.Schema, SnapshotSchema)
+	}
+	if s.Stats == nil {
+		return fmt.Errorf("ingest: snapshot without stats")
+	}
+	return s.Stats.Validate()
+}
+
+// ErrUnknownTenant reports a snapshot request for a tenant the
+// aggregator has never seen.
+var ErrUnknownTenant = fmt.Errorf("ingest: unknown tenant")
+
+// Snapshot merges tenant's live windows into one StatsSet and returns
+// it with the per-channel liveness catalogue.
+func (a *Aggregator) Snapshot(tenant string) (*Snapshot, error) {
+	now := a.cfg.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenants[tenant]
+	if ts == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	a.advance(ts, now)
+	merged := fit.NewStatsSet(0, a.cfg.Buckets)
+	for _, slot := range ts.slots {
+		if slot == nil {
+			continue
+		}
+		if err := merged.Merge(slot); err != nil {
+			return nil, fmt.Errorf("ingest: merge windows: %w", err)
+		}
+	}
+	snap := &Snapshot{
+		V: 1, Schema: SnapshotSchema, Tenant: tenant,
+		WindowSeconds: a.cfg.Window.Seconds(), Windows: a.cfg.Windows,
+		Events: ts.events, Stats: merged,
+	}
+	for name, cm := range ts.channels {
+		snap.Channels = append(snap.Channels, ChannelInfo{
+			Channel: name, Events: cm.events, AgeSeconds: now.Sub(cm.last).Seconds(),
+		})
+	}
+	sort.Slice(snap.Channels, func(i, j int) bool {
+		return snap.Channels[i].Channel < snap.Channels[j].Channel
+	})
+	return snap, nil
+}
+
+// Tenants lists the live tenants, sorted.
+func (a *Aggregator) Tenants() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.tenants))
+	for t := range a.tenants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SweepStats is what one maintenance sweep observed.
+type SweepStats struct {
+	Tenants  int
+	Channels int
+	// Stale counts channels whose last observation is older than the
+	// ring span (they still hold windows but receive nothing).
+	Stale int
+	// Evicted counts tenants dropped for being idle past twice the ring
+	// span.
+	Evicted int
+}
+
+// Sweep performs one maintenance pass: counts stale channels and evicts
+// tenants idle longer than twice the ring span, releasing their memory.
+// The daemon runs this on a ticker and exports the results as gauges.
+func (a *Aggregator) Sweep() SweepStats {
+	now := a.cfg.Now()
+	span := a.cfg.Window * time.Duration(a.cfg.Windows)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var st SweepStats
+	for name, ts := range a.tenants {
+		if now.Sub(ts.last) > 2*span {
+			a.numChannels -= len(ts.channels)
+			delete(a.tenants, name)
+			st.Evicted++
+			continue
+		}
+		for _, cm := range ts.channels {
+			if now.Sub(cm.last) > span {
+				st.Stale++
+			}
+		}
+		st.Channels += len(ts.channels)
+	}
+	st.Tenants = len(a.tenants)
+	return st
+}
+
+// Footprint returns the aggregator's statistics memory footprint in
+// bytes: the sum of every live window's StatsSet footprint. It is the
+// quantity the bounded-memory test locks — a function of
+// channels × windows × buckets, never of how many events arrived.
+func (a *Aggregator) Footprint() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := 0
+	for _, ts := range a.tenants {
+		for _, slot := range ts.slots {
+			if slot != nil {
+				f += slot.Footprint()
+			}
+		}
+	}
+	return f
+}

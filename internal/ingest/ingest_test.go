@@ -1,0 +1,514 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dtr/dist"
+	"dtr/dist/fit"
+	"dtr/internal/rngutil"
+	"dtr/internal/trace"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestParseLine(t *testing.T) {
+	good := []struct {
+		line string
+		want trace.Event
+	}{
+		{"acme/service.0 1.52", trace.Event{V: 1, Kind: trace.KindService, Server: 0, Value: 1.52}},
+		{"acme/service.1 0.25 c", trace.Event{V: 1, Kind: trace.KindService, Server: 1, Value: 0.25, Censored: true}},
+		{"t-1/transfer.0.1.26 31.4", trace.Event{V: 1, Kind: trace.KindTransfer, Src: 0, Dst: 1, Tasks: 26, Value: 31.4}},
+		{"a.b/fn.1.0 0.9", trace.Event{V: 1, Kind: trace.KindFN, Src: 1, Dst: 0, Value: 0.9}},
+		{"x/failure.1 142.7 c", trace.Event{V: 1, Kind: trace.KindFailure, Server: 1, Value: 142.7, Censored: true}},
+	}
+	for _, tc := range good {
+		tenant, ev, err := ParseLine(tc.line)
+		if err != nil {
+			t.Errorf("ParseLine(%q): %v", tc.line, err)
+			continue
+		}
+		if ev != tc.want {
+			t.Errorf("ParseLine(%q) = %+v, want %+v", tc.line, ev, tc.want)
+		}
+		if tenant == "" {
+			t.Errorf("ParseLine(%q): empty tenant", tc.line)
+		}
+	}
+	bad := []string{
+		"",                       // empty
+		"acme/service.0",         // no value
+		"service.0 1.5",          // no tenant
+		"acme/service.0 1.5 x",   // bad censor marker
+		"acme/service.0 1.5 c c", // too many fields
+		"acme/warp.0 1.5",        // unknown channel
+		"acme/service.x 1.5",     // bad index
+		"acme/service.-1 1.5",    // negative index
+		"acme/transfer.0.1 1.5",  // transfer missing tasks
+		"acme/fn.0 1.5",          // fn missing dst
+		"acme/service.0 soon",    // bad value
+		"ac me/service.0 1.5",    // tenant with space splits fields
+		"ac\tme/service.0 1.5",   // tenant with tab splits fields
+		"a!b/service.0 1.5",      // invalid tenant character
+		"/service.0 1.5",         // empty tenant
+		"acme/ 1.5",              // empty channel
+	}
+	for _, line := range bad {
+		if _, _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q): want error, got nil", line)
+		}
+	}
+}
+
+// TestObserveRejectsInvalid: the line protocol and JSONL paths share
+// trace.Event validation, so structurally bad observations (negative
+// values, self-transfers) are refused at the door.
+func TestObserveRejectsInvalid(t *testing.T) {
+	a := New(Config{Now: newFakeClock().Now})
+	bad := []trace.Event{
+		{Kind: trace.KindService, Server: 0, Value: -1},
+		{Kind: trace.KindTransfer, Src: 1, Dst: 1, Tasks: 2, Value: 1},
+		{Kind: "warp", Value: 1},
+	}
+	for _, ev := range bad {
+		if err := a.Observe("acme", ev); err == nil {
+			t.Errorf("Observe(%+v): want error, got nil", ev)
+		}
+	}
+	if _, err := a.Snapshot("acme"); err == nil {
+		t.Error("rejected events must not create the tenant")
+	}
+}
+
+// TestWindowRotation: observations older than the ring span fall out of
+// the snapshot; the ring advances on demand from the injected clock.
+func TestWindowRotation(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Window: time.Minute, Windows: 3, Buckets: 64, Now: clk.Now})
+	obs := func(v float64) {
+		if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 0, Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs(1.0)
+	clk.Advance(time.Minute)
+	obs(2.0)
+	snap, err := a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.Stats.Service[0].N; n != 2 {
+		t.Fatalf("both windows live: n = %d, want 2", n)
+	}
+	// Advance past the ring span: the first observation's window expires.
+	clk.Advance(2 * time.Minute)
+	snap, err = a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.Stats.Service[0].N; n != 1 {
+		t.Fatalf("first window expired: n = %d, want 1", n)
+	}
+	if snap.Stats.Service[0].Min != 2.0 {
+		t.Fatalf("surviving observation = %g, want 2.0", snap.Stats.Service[0].Min)
+	}
+	// Idle past the whole ring: everything expires and the merged set is
+	// empty (no live window mentions any server).
+	clk.Advance(10 * time.Minute)
+	snap, err = a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.Servers != 0 {
+		t.Fatalf("all windows expired: merged set still has %d servers", snap.Stats.Servers)
+	}
+}
+
+// TestBoundedMemory is the acceptance-criterion lock: the per-channel
+// footprint (buckets × windows) stays exactly constant as the ingested
+// event count grows 100×.
+func TestBoundedMemory(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Window: time.Minute, Windows: 4, Buckets: 128, Now: clk.Now})
+	r := rngutil.Stream(801, 0)
+	law := dist.NewExponential(2)
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			srv := i % 2
+			if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: srv, Value: law.Sample(r), Censored: i%5 == 0}); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if err := a.Observe("acme", trace.Event{Kind: trace.KindTransfer, Src: 0, Dst: 1, Tasks: 1 + i%4, Value: law.Sample(r)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	emit(1_000)
+	base := a.Footprint()
+	if base == 0 {
+		t.Fatal("footprint is zero after ingest")
+	}
+	emit(99_000)
+	if got := a.Footprint(); got != base {
+		t.Fatalf("footprint grew from %d to %d bytes over 100x more events", base, got)
+	}
+	snap, err := a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Events != 100_000+uint64(100_000/3)+1 {
+		t.Logf("events = %d", snap.Events) // count bookkeeping, not the lock
+	}
+}
+
+// TestChannelCap: observations that would create a channel beyond
+// MaxChannels are dropped with ErrChannelLimit; existing channels keep
+// accepting.
+func TestChannelCap(t *testing.T) {
+	a := New(Config{MaxChannels: 2, Now: newFakeClock().Now})
+	if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 2, Value: 1})
+	if err == nil || !strings.Contains(err.Error(), "channel limit") {
+		t.Fatalf("third channel: want ErrChannelLimit, got %v", err)
+	}
+	if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 0, Value: 2}); err != nil {
+		t.Fatalf("existing channel after cap: %v", err)
+	}
+}
+
+// TestSweep: channels quiet past the ring span count as stale; tenants
+// idle past twice the span are evicted and release their channel slots.
+func TestSweep(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Window: time.Minute, Windows: 2, MaxChannels: 4, Now: clk.Now})
+	if err := a.Observe("quiet", trace.Event{Kind: trace.KindService, Server: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe("busy", trace.Event{Kind: trace.KindService, Server: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Sweep()
+	if st.Tenants != 2 || st.Stale != 0 || st.Evicted != 0 {
+		t.Fatalf("fresh sweep: %+v", st)
+	}
+	// Past the span but not twice it, with "busy" refreshed: "quiet" is
+	// stale but not yet evicted.
+	clk.Advance(3 * time.Minute)
+	if err := a.Observe("busy", trace.Event{Kind: trace.KindService, Server: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Sweep()
+	if st.Tenants != 2 || st.Stale != 1 {
+		t.Fatalf("mid sweep: %+v", st)
+	}
+	clk.Advance(3 * time.Minute)
+	st = a.Sweep()
+	if st.Evicted != 1 || st.Tenants != 1 {
+		t.Fatalf("eviction sweep: %+v", st)
+	}
+	if _, err := a.Snapshot("quiet"); err == nil {
+		t.Fatal("evicted tenant still snapshottable")
+	}
+	// The evicted tenant's channel slots are free again.
+	for srv := 0; srv < 3; srv++ {
+		if err := a.Observe("busy", trace.Event{Kind: trace.KindService, Server: srv, Value: 1}); err != nil {
+			t.Fatalf("server %d after eviction: %v", srv, err)
+		}
+	}
+}
+
+// TestSnapshotFitsEndToEnd: a realistic stream ingested through the
+// aggregator yields a snapshot whose StatsSet drives the §III-B refit —
+// the full streaming-fit loop minus the wire.
+func TestSnapshotFitsEndToEnd(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Now: clk.Now})
+	r := rngutil.Stream(802, 0)
+	svc := []dist.Dist{dist.NewExponential(1), dist.NewExponential(3)}
+	for i := 0; i < 2_000; i++ {
+		srv := i % 2
+		// Right-censor against an independent capture horizon: the
+		// recorded value is min(x, horizon), a genuine lower bound.
+		x := svc[srv].Sample(r)
+		horizon := dist.NewExponential(5 * svc[srv].Mean()).Sample(r)
+		ev := trace.Event{Kind: trace.KindService, Server: srv, Value: x}
+		if horizon < x {
+			ev.Value, ev.Censored = horizon, true
+		}
+		if err := a.Observe("acme", ev); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			tasks := 1 + i%5
+			if err := a.Observe("acme", trace.Event{Kind: trace.KindTransfer, Src: srv, Dst: 1 - srv, Tasks: tasks,
+				Value: dist.NewExponential(0.25 * float64(tasks)).Sample(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap, err := a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot does not validate: %v", err)
+	}
+	spec, report, err := snap.Stats.Spec(fit.Config{Queues: []int{40, 10}, Families: []fit.Family{fit.FamilyExponential}})
+	if err != nil {
+		t.Fatalf("Spec from snapshot: %v", err)
+	}
+	for i, want := range []float64{1, 3} {
+		got := spec.Servers[i].Service.Mean
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("service[%d] mean = %.3f, want ~%g", i, got, want)
+		}
+	}
+	if len(report.Fits) < 3 {
+		t.Errorf("report has %d fits, want >= 3", len(report.Fits))
+	}
+	if len(snap.Channels) != 3 {
+		t.Errorf("snapshot lists %d channels, want 3 (service.0, service.1, transfer)", len(snap.Channels))
+	}
+}
+
+// newTestServer wires an aggregator+server onto an httptest server.
+func newTestServer(t *testing.T, clk *fakeClock) (*Server, *httptest.Server) {
+	t.Helper()
+	a := New(Config{Buckets: 64, Now: clk.Now})
+	srv := NewServer(a, nil, 0)
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// TestHTTPIngestAndSnapshot drives the HTTP surface: a mixed batch
+// (line protocol + JSONL with ?tenant=), the forgiving accept/reject
+// accounting, and the snapshot round-trip.
+func TestHTTPIngestAndSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	_, hs := newTestServer(t, clk)
+	batch := strings.Join([]string{
+		"acme/service.0 1.5",
+		"acme/service.0 2.5 c",
+		`{"v":1,"kind":"service","server":1,"value":0.75}`,
+		"acme/transfer.0.1.4 2.0",
+		"bogus line that does not parse",
+		"", // blank lines are skipped, not rejected
+		"acme/fn.0.1 0.1",
+	}, "\n")
+	resp, err := http.Post(hs.URL+"/v1/ingest?tenant=acme", "text/plain", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ir.Accepted != 5 || ir.Rejected != 1 {
+		t.Fatalf("status %d, accepted %d, rejected %d; want 200, 5, 1 (%s)",
+			resp.StatusCode, ir.Accepted, ir.Rejected, ir.Error)
+	}
+
+	snapResp, err := http.Get(hs.URL + "/v1/snapshot?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snapResp.Body.Close()
+	if snapResp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", snapResp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(snapResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot does not validate after the wire: %v", err)
+	}
+	if snap.Stats.Service[0].N != 1 || snap.Stats.Service[0].CensN != 1 {
+		t.Errorf("service.0: n=%d cens=%d, want 1, 1", snap.Stats.Service[0].N, snap.Stats.Service[0].CensN)
+	}
+	if snap.Stats.Service[1].N != 1 {
+		t.Errorf("JSONL event missing: service.1 n=%d, want 1", snap.Stats.Service[1].N)
+	}
+	if snap.Stats.Transfer.N != 1 || snap.Stats.Transfer.Min != 0.5 {
+		t.Errorf("transfer: n=%d min=%g, want per-task-normalized 1 @ 0.5", snap.Stats.Transfer.N, snap.Stats.Transfer.Min)
+	}
+
+	// Unknown tenant → 404; missing tenant → 400.
+	for path, want := range map[string]int{
+		"/v1/snapshot?tenant=nobody": http.StatusNotFound,
+		"/v1/snapshot":               http.StatusBadRequest,
+	} {
+		r2, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, r2.StatusCode, want)
+		}
+	}
+}
+
+// TestJSONLNeedsTenant: a JSONL event without ?tenant= is rejected —
+// trace.v1 events carry no tenant of their own.
+func TestJSONLNeedsTenant(t *testing.T) {
+	clk := newFakeClock()
+	_, hs := newTestServer(t, clk)
+	resp, err := http.Post(hs.URL+"/v1/ingest", "text/plain",
+		strings.NewReader(`{"v":1,"kind":"service","server":0,"value":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 0 || ir.Rejected != 1 || !strings.Contains(ir.Error, "tenant") {
+		t.Fatalf("got %+v, want the tenant rejection", ir)
+	}
+}
+
+// TestHealthzDrain: /healthz answers ok until StartDrain, 503 after.
+func TestHealthzDrain(t *testing.T) {
+	clk := newFakeClock()
+	srv, hs := newTestServer(t, clk)
+	r1, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", r1.StatusCode)
+	}
+	srv.StartDrain()
+	r2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", r2.StatusCode)
+	}
+}
+
+// TestServeUDP: multi-line datagrams land in the aggregator; bad lines
+// inside a datagram do not sink their neighbours; cancellation stops
+// the loop cleanly.
+func TestServeUDP(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Buckets: 64, Now: clk.Now})
+	srv := NewServer(a, nil, 0)
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeUDP(ctx, conn) }()
+
+	out, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := out.Write([]byte("acme/service.0 1.5\nnot a line\nacme/service.0 2.5 c\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		snap, err := a.Snapshot("acme")
+		if err == nil && snap.Stats.Service[0].N == 1 && snap.Stats.Service[0].CensN == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("datagram never landed (last: %v)", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("ServeUDP after cancel: %v", err)
+	}
+}
+
+// TestConcurrentIngest hammers one aggregator from many goroutines
+// (observers, snapshotters, sweepers) — the lock discipline this test
+// pins is what `go test -race ./internal/ingest` checks in CI.
+func TestConcurrentIngest(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Buckets: 64, Windows: 3, Window: time.Minute, Now: clk.Now})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", w%3)
+			for i := 0; i < per; i++ {
+				_ = a.Observe(tenant, trace.Event{Kind: trace.KindService, Server: w % 2, Value: float64(i%7) + 0.5})
+				if i%50 == 0 {
+					clk.Advance(time.Second)
+					_, _ = a.Snapshot(tenant)
+					a.Sweep()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, tenant := range a.Tenants() {
+		snap, err := a.Snapshot(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("tenant %s: %v", tenant, err)
+		}
+		total += snap.Events
+	}
+	if total != workers*per {
+		t.Fatalf("observed %d events across tenants, want %d", total, workers*per)
+	}
+}

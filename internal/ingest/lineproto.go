@@ -1,0 +1,102 @@
+package ingest
+
+// The ingest line protocol: one observation per line, cheap enough to
+// emit from a hot path and to parse at datagram rates, following the
+// statsd tradition of "name value" lines. Grammar (DESIGN.md §11):
+//
+//	line    = tenant "/" channel SP value [SP "c"]
+//	tenant  = 1*(ALPHA / DIGIT / "-" / "_" / ".")
+//	channel = "service." index            ; service duration at server
+//	        / "failure." index            ; time-to-failure of server
+//	        / "transfer." index "." index "." count   ; src.dst.tasks
+//	        / "fn." index "." index       ; failure notice src.dst
+//	value   = non-negative float          ; model time units
+//
+// The trailing "c" marks a right-censored observation (value is a
+// lower bound). Examples:
+//
+//	acme/service.0 1.52
+//	acme/service.1 0.25 c
+//	acme/transfer.0.1.26 31.4
+//	acme/failure.1 142.7
+//	acme/fn.1.0 0.9
+//
+// Every line maps onto one trace.Event, so the line protocol and the
+// trace.v1 JSONL batch path share a single validation and aggregation
+// path.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtr/internal/trace"
+)
+
+// ParseLine parses one line-protocol observation into its tenant and
+// the equivalent trace event. The event still needs Validate (Observe
+// runs it); ParseLine only enforces the grammar.
+func ParseLine(line string) (tenant string, ev trace.Event, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return "", ev, fmt.Errorf("ingest: want %q, got %d fields", "tenant/channel value [c]", len(fields))
+	}
+	key := fields[0]
+	slash := strings.IndexByte(key, '/')
+	if slash <= 0 || slash == len(key)-1 {
+		return "", ev, fmt.Errorf("ingest: key %q is not tenant/channel", key)
+	}
+	tenant, channel := key[:slash], key[slash+1:]
+	for _, r := range tenant {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.') {
+			return "", ev, fmt.Errorf("ingest: tenant %q has invalid character %q", tenant, r)
+		}
+	}
+	value, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", ev, fmt.Errorf("ingest: value %q: %w", fields[1], err)
+	}
+	censored := false
+	if len(fields) == 3 {
+		if fields[2] != "c" {
+			return "", ev, fmt.Errorf("ingest: trailing field %q (only %q marks censoring)", fields[2], "c")
+		}
+		censored = true
+	}
+
+	parts := strings.Split(channel, ".")
+	idx := func(i int) (int, error) {
+		n, err := strconv.Atoi(parts[i])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("ingest: channel %q: index %q is not a non-negative integer", channel, parts[i])
+		}
+		return n, nil
+	}
+	ev = trace.Event{V: trace.Version, Value: value, Censored: censored}
+	switch {
+	case parts[0] == "service" && len(parts) == 2:
+		ev.Kind = trace.KindService
+		ev.Server, err = idx(1)
+	case parts[0] == "failure" && len(parts) == 2:
+		ev.Kind = trace.KindFailure
+		ev.Server, err = idx(1)
+	case parts[0] == "transfer" && len(parts) == 4:
+		ev.Kind = trace.KindTransfer
+		if ev.Src, err = idx(1); err == nil {
+			if ev.Dst, err = idx(2); err == nil {
+				ev.Tasks, err = idx(3)
+			}
+		}
+	case parts[0] == "fn" && len(parts) == 3:
+		ev.Kind = trace.KindFN
+		if ev.Src, err = idx(1); err == nil {
+			ev.Dst, err = idx(2)
+		}
+	default:
+		return "", ev, fmt.Errorf("ingest: unknown channel %q (want service.<i>, failure.<i>, transfer.<src>.<dst>.<tasks> or fn.<src>.<dst>)", channel)
+	}
+	if err != nil {
+		return "", ev, err
+	}
+	return tenant, ev, nil
+}

@@ -22,8 +22,14 @@ import (
 type FitRequest struct {
 	// Events is the captured trace window (the contents of a trace
 	// JSONL file, as JSON values). A meta event is optional; server
-	// indices imply the system size either way.
-	Events []trace.Event `json:"events"`
+	// indices imply the system size either way. Exactly one of Events
+	// and Stats must be set.
+	Events []trace.Event `json:"events,omitempty"`
+	// Stats is the bounded-memory alternative to Events: windowed
+	// sufficient statistics, as carried by a dtringest snapshot. The
+	// fit runs on the closed-form/sketch paths (fit.StatsSet.Spec)
+	// instead of the raw-sample MLEs.
+	Stats *fit.StatsSet `json:"stats,omitempty"`
 	// Queues is the initial allocation recorded in the fitted spec, one
 	// entry per server.
 	Queues []int `json:"queues"`
@@ -58,12 +64,20 @@ func (s *Service) handleFit(w http.ResponseWriter, r *http.Request) int {
 	if code := s.decode(w, r, &req); code != 0 {
 		return code
 	}
-	if len(req.Events) == 0 {
-		return s.fail(w, http.StatusBadRequest, "events: required")
+	if len(req.Events) == 0 && req.Stats == nil {
+		return s.fail(w, http.StatusBadRequest, "events or stats: required")
+	}
+	if len(req.Events) > 0 && req.Stats != nil {
+		return s.fail(w, http.StatusBadRequest, "events and stats are mutually exclusive")
 	}
 	if len(req.Events) > maxFitEvents {
 		return s.fail(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("events: at most %d per request", maxFitEvents))
+	}
+	if req.Stats != nil {
+		if err := req.Stats.Validate(); err != nil {
+			return s.fail(w, http.StatusBadRequest, err.Error())
+		}
 	}
 	if len(req.Queues) == 0 {
 		return s.fail(w, http.StatusBadRequest, "queues: required")
@@ -101,9 +115,14 @@ func (s *Service) handleFit(w http.ResponseWriter, r *http.Request) int {
 	defer s.admit.release()
 	s.reg.Counter("dtr_serve_fits_total").Add(1)
 
-	spec, report, err := fit.Spec(req.Events, fit.Config{
-		Queues: req.Queues, Families: fams, MinObs: req.MinObs,
-	})
+	fitCfg := fit.Config{Queues: req.Queues, Families: fams, MinObs: req.MinObs}
+	var spec *modelspec.SystemSpec
+	var report *fit.Report
+	if req.Stats != nil {
+		spec, report, err = req.Stats.Spec(fitCfg)
+	} else {
+		spec, report, err = fit.Spec(req.Events, fitCfg)
+	}
 	if err != nil {
 		// Every fit.Spec failure is input-determined: bad events, queue
 		// count mismatch, or a sample no family admits.

@@ -20,6 +20,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -183,9 +184,26 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
+// maxLine bounds one JSONL line in bytes (1 MiB, matching the historic
+// Scanner buffer limit).
+const maxLine = 1 << 20
+
 // Reader decodes and validates a JSONL event stream.
+//
+// A Reader built with NewTailReader is safe over a *growing* file (a
+// live capture another process is still appending to): a torn final
+// line — the tail of a write that has not reached its newline yet — is
+// buffered across Next calls and returned only once its newline lands,
+// with io.EOF signalling "no complete line available right now". Plain
+// NewReader keeps whole-file semantics: at end of stream a trailing
+// unterminated line is treated as complete, so static captures that
+// lost their final newline still parse fully.
 type Reader struct {
-	sc *bufio.Scanner
+	br   *bufio.Reader
+	tail bool
+	// pending accumulates the bytes of a line whose newline has not been
+	// seen yet (tail mode) or that straddled reader refills.
+	pending []byte
 	// Servers is the system size learned from the first meta event
 	// (0 until one is seen); when known, server/endpoint indices are
 	// range-checked.
@@ -193,44 +211,78 @@ type Reader struct {
 	line    int
 }
 
-// NewReader returns a Reader over r. Lines up to 1 MiB are accepted.
+// NewReader returns a Reader over a complete stream. Lines up to 1 MiB
+// are accepted.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024)}
 }
 
-// Next returns the next event, io.EOF at the end of the stream, or a
+// NewTailReader returns a Reader for tailing a growing stream: Next
+// returns io.EOF whenever no newline-terminated line is available yet,
+// holding any partially written final line until it completes. Callers
+// poll Next again after the underlying file has grown.
+func NewTailReader(r io.Reader) *Reader {
+	tr := NewReader(r)
+	tr.tail = true
+	return tr
+}
+
+// Next returns the next event, io.EOF at the end of the stream (or, in
+// tail mode, when only an incomplete final line remains), or a
 // line-qualified error on malformed input. Blank lines are skipped.
 func (r *Reader) Next() (Event, error) {
-	for r.sc.Scan() {
+	for {
+		chunk, err := r.br.ReadBytes('\n')
+		r.pending = append(r.pending, chunk...)
+		if len(r.pending) > maxLine {
+			return Event{}, fmt.Errorf("trace: line %d: longer than %d bytes", r.line+1, maxLine)
+		}
+		switch {
+		case err == nil:
+			// Complete line.
+		case errors.Is(err, io.EOF):
+			if r.tail || len(bytes.TrimSpace(r.pending)) == 0 {
+				// Tail mode holds the torn line for the writer to finish;
+				// either way there is nothing complete to hand out now.
+				return Event{}, io.EOF
+			}
+			// Whole-stream mode: the final line simply lost its newline.
+		default:
+			return Event{}, fmt.Errorf("trace: read: %w", err)
+		}
 		r.line++
-		line := r.sc.Bytes()
+		line := bytes.TrimSpace(r.pending)
+		r.pending = r.pending[:0]
 		if len(line) == 0 {
 			continue
 		}
-		var ev Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		ev, perr := r.parse(line)
+		if perr != nil {
+			return Event{}, perr
 		}
-		if err := ev.Validate(); err != nil {
-			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
-		}
-		if ev.Kind == KindMeta && ev.Servers > 0 {
-			r.Servers = ev.Servers
-		}
-		if r.Servers > 0 {
-			if err := checkRange(&ev, r.Servers); err != nil {
-				return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
-			}
-		}
-		traceEventsRead.Inc()
 		return ev, nil
 	}
-	if err := r.sc.Err(); err != nil {
-		return Event{}, fmt.Errorf("trace: read: %w", err)
+}
+
+// parse decodes and validates one complete line.
+func (r *Reader) parse(line []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
 	}
-	return Event{}, io.EOF
+	if err := ev.Validate(); err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+	}
+	if ev.Kind == KindMeta && ev.Servers > 0 {
+		r.Servers = ev.Servers
+	}
+	if r.Servers > 0 {
+		if err := checkRange(&ev, r.Servers); err != nil {
+			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+	}
+	traceEventsRead.Inc()
+	return ev, nil
 }
 
 // checkRange bounds server indices once the system size is known.

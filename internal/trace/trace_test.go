@@ -70,10 +70,10 @@ func TestWriterRejectsInvalid(t *testing.T) {
 
 func TestReaderRejectsMalformed(t *testing.T) {
 	cases := []string{
-		`{"v":1,"kind":"service","value":`,                          // truncated JSON
-		`{"v":99,"kind":"service","value":1}`,                       // future version
-		`{"v":1,"kind":"warp","value":1}`,                           // unknown kind
-		`{"v":1,"kind":"service","server":0}` + "\n" + `{"bad":}`,   // second line bad
+		`{"v":1,"kind":"service","value":`,                              // truncated JSON
+		`{"v":99,"kind":"service","value":1}`,                           // future version
+		`{"v":1,"kind":"warp","value":1}`,                               // unknown kind
+		`{"v":1,"kind":"service","server":0}` + "\n" + `{"bad":}`,       // second line bad
 		`{"v":1,"kind":"transfer","src":0,"dst":0,"tasks":2,"value":1}`, // self-transfer
 	}
 	for _, in := range cases {
@@ -99,6 +99,75 @@ func TestReaderSkipsBlankLines(t *testing.T) {
 	evs, err := ReadAll(strings.NewReader(in))
 	if err != nil || len(evs) != 1 {
 		t.Fatalf("got %d events, err %v; want 1, nil", len(evs), err)
+	}
+}
+
+// TestReaderFinalLineWithoutNewline keeps the whole-stream contract: a
+// static capture that lost its trailing newline still parses fully.
+func TestReaderFinalLineWithoutNewline(t *testing.T) {
+	in := `{"v":1,"kind":"service","server":0,"value":1}` + "\n" +
+		`{"v":1,"kind":"service","server":1,"value":2}` // no trailing \n
+	evs, err := ReadAll(strings.NewReader(in))
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("got %d events, err %v; want 2, nil", len(evs), err)
+	}
+}
+
+// TestTailReaderTornLine is the live-tail regression test: a partially
+// written final line must not be surfaced (or error) until its newline
+// lands — dtringest and `dtradapt -follow` both read growing files.
+func TestTailReaderTornLine(t *testing.T) {
+	full := `{"v":1,"kind":"service","server":0,"value":1.5}`
+	var buf bytes.Buffer
+	buf.WriteString(full + "\n")
+	// Torn write: the writer got halfway through the second line.
+	buf.WriteString(full[:20])
+
+	r := NewTailReader(&buf)
+	ev, err := r.Next()
+	if err != nil || ev.Kind != KindService {
+		t.Fatalf("first line: got %+v, %v", ev, err)
+	}
+	// Only the torn fragment remains: Next must answer io.EOF, not a
+	// parse error and not a half event.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("torn line, attempt %d: got %v, want io.EOF", i, err)
+		}
+	}
+	// The writer finishes the line (plus one more event after it); the
+	// completed line must come back exactly once.
+	buf.WriteString(full[20:] + "\n")
+	buf.WriteString(`{"v":1,"kind":"service","server":1,"value":2}` + "\n")
+	ev, err = r.Next()
+	if err != nil || ev.Value != 1.5 {
+		t.Fatalf("completed torn line: got %+v, %v", ev, err)
+	}
+	ev, err = r.Next()
+	if err != nil || ev.Server != 1 {
+		t.Fatalf("line after torn line: got %+v, %v", ev, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("end of growth: got %v, want io.EOF", err)
+	}
+}
+
+// TestTailReaderTornAcrossManyAppends drips one event in byte-sized
+// appends; the reader must stay at io.EOF until the newline arrives.
+func TestTailReaderTornAcrossManyAppends(t *testing.T) {
+	line := `{"v":1,"kind":"fn","src":0,"dst":1,"value":0.9}` + "\n"
+	var buf bytes.Buffer
+	r := NewTailReader(&buf)
+	for i := 0; i < len(line)-1; i++ {
+		buf.WriteByte(line[i])
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("after %d bytes: got %v, want io.EOF", i+1, err)
+		}
+	}
+	buf.WriteByte('\n')
+	ev, err := r.Next()
+	if err != nil || ev.Kind != KindFN {
+		t.Fatalf("completed line: got %+v, %v", ev, err)
 	}
 }
 
