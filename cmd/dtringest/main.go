@@ -70,6 +70,8 @@ func run(args []string) error {
 	windows := fs.Int("windows", ingest.DefaultWindows, "ring length: how many windows a snapshot covers")
 	buckets := fs.Int("buckets", 0, "sketch buckets per channel (0 = dist/fit default)")
 	maxChannels := fs.Int("max-channels", ingest.DefaultMaxChannels, "cap on live (tenant, channel) pairs; observations beyond it are dropped")
+	maxServers := fs.Int("max-servers", ingest.DefaultMaxServers, "cap on server indices an observation may name; events beyond it are dropped")
+	maxTenants := fs.Int("max-tenants", ingest.DefaultMaxTenants, "cap on live tenants; observations for new tenants beyond it are dropped")
 	maxBody := fs.Int64("max-body", 4<<20, "HTTP ingest batch size cap in bytes; beyond it requests get 413")
 	sweep := fs.Duration("sweep", 0, "maintenance sweep interval: stale-channel gauges, idle-tenant eviction (0 = one window)")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before exiting")
@@ -115,6 +117,7 @@ func run(args []string) error {
 	agg := ingest.New(ingest.Config{
 		Window: *window, Windows: *windows,
 		Buckets: *buckets, MaxChannels: *maxChannels,
+		MaxServers: *maxServers, MaxTenants: *maxTenants,
 	})
 	srv := ingest.NewServer(agg, tracer, *maxBody)
 	mux := http.NewServeMux()

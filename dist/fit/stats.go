@@ -49,6 +49,11 @@ const (
 	// DefaultPseudoSample bounds the sample reconstructed from a sketch
 	// for the families whose censored MLE has no closed form.
 	DefaultPseudoSample = 4096
+	// ZeroFloor substitutes for a zero-valued exact observation. The
+	// wire formats admit value 0 (timers round down), but the log-moment
+	// accumulator needs positivity: folding log(0) = -Inf into SumLog
+	// would make the whole window fail Validate until it rotates out.
+	ZeroFloor = 1e-9
 )
 
 // LogHist is a fixed-size mergeable histogram with log-spaced buckets
@@ -220,7 +225,9 @@ func NewStats(buckets int) *Stats {
 	return &Stats{Hist: NewLogHist(buckets), CensHist: NewLogHist(buckets)}
 }
 
-// Observe folds one observation into the statistics.
+// Observe folds one observation into the statistics. Exact observations
+// at or below zero are clamped to ZeroFloor so every accumulator stays
+// finite; censored bounds pass through (a zero bound carries no log).
 func (s *Stats) Observe(value float64, censored bool) {
 	if censored {
 		s.CensN++
@@ -230,6 +237,9 @@ func (s *Stats) Observe(value float64, censored bool) {
 		}
 		s.CensHist.Observe(value)
 		return
+	}
+	if value <= 0 {
+		value = ZeroFloor
 	}
 	if s.N == 0 || value < s.Min {
 		s.Min = value
@@ -729,7 +739,10 @@ func (set *StatsSet) Spec(cfg Config) (*modelspec.SystemSpec, *Report, error) {
 	spec := &modelspec.SystemSpec{}
 	for i := 0; i < set.Servers; i++ {
 		ss := set.Service[i]
-		if ss == nil || int(ss.N) < minObs {
+		if ss == nil {
+			return nil, nil, fmt.Errorf("fit: service[%d] has no statistics", i)
+		}
+		if int(ss.N) < minObs {
 			return nil, nil, fmt.Errorf("fit: service[%d] has %d exact observations, need >= %d", i, ss.N, minObs)
 		}
 		r, err := SelectStats(ss, cfg.Families)
@@ -810,6 +823,11 @@ func (set *StatsSet) Validate() error {
 		return nil
 	}
 	for i := range set.Service {
+		// Every covered server must have both channels: a decoded set
+		// with a null entry would otherwise panic the fitters.
+		if i < set.Servers && (set.Service[i] == nil || set.Failure[i] == nil) {
+			return fmt.Errorf("fit: stats set with nil channel for server %d", i)
+		}
 		if err := check(fmt.Sprintf("service[%d]", i), set.Service[i]); err != nil {
 			return err
 		}

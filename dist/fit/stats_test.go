@@ -395,3 +395,50 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		t.Errorf("fit after round-trip: mean %.12g, want %.12g", got.Dist.Mean(), want.Dist.Mean())
 	}
 }
+
+// TestStatsObserveZero: a zero-valued exact observation (legal on every
+// wire format) is clamped to ZeroFloor rather than folding
+// log(0) = -Inf into SumLog — one zero must not make the whole window
+// fail Validate until it rotates out.
+func TestStatsObserveZero(t *testing.T) {
+	s := NewStats(64)
+	s.Observe(0, false)
+	for i := 0; i < 99; i++ {
+		s.Observe(1+float64(i%5), false)
+	}
+	s.Observe(0, true) // a zero censored bound carries no information but is fine
+	if err := s.Validate(); err != nil {
+		t.Fatalf("stats with a zero observation do not validate: %v", err)
+	}
+	if math.IsInf(s.SumLog, 0) || math.IsNaN(s.SumLog) {
+		t.Fatalf("SumLog = %g, want finite", s.SumLog)
+	}
+	if s.Min != ZeroFloor {
+		t.Errorf("Min = %g, want the %g floor", s.Min, ZeroFloor)
+	}
+	r, err := FitStats(FamilyExponential, s)
+	if err != nil {
+		t.Fatalf("exponential fit after a zero observation: %v", err)
+	}
+	if m := r.Dist.Mean(); m <= 0 || math.IsInf(m, 0) {
+		t.Errorf("degenerate fitted mean %g", m)
+	}
+}
+
+// TestStatsSetNilChannelEntries: a decoded StatsSet carrying null
+// channel entries (e.g. {"service":[null]} from a crafted /v1/fit body)
+// must be rejected by Validate, and Spec must error rather than panic
+// even if validation is skipped.
+func TestStatsSetNilChannelEntries(t *testing.T) {
+	var set StatsSet
+	if err := json.Unmarshal([]byte(`{"servers":1,"service":[null],"failure":[null]}`), &set); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err == nil {
+		t.Error("Validate accepted a set with nil channel entries")
+	}
+	_, _, err := set.Spec(Config{Queues: []int{10}})
+	if err == nil {
+		t.Error("Spec accepted a set with nil channel entries")
+	}
+}

@@ -30,6 +30,8 @@ const (
 	DefaultWindow      = time.Minute
 	DefaultWindows     = 5
 	DefaultMaxChannels = 4096
+	DefaultMaxServers  = 256
+	DefaultMaxTenants  = 256
 )
 
 // SnapshotSchema names the snapshot wire format.
@@ -49,6 +51,15 @@ type Config struct {
 	// observations that would create a channel beyond the cap are
 	// dropped and counted (0 = 4096).
 	MaxChannels int
+	// MaxServers caps the server indices an event may name (0 = 256).
+	// StatsSet.Grow allocates sketches for every index up to the highest
+	// seen, so without a cap a single "service.999999999" line would
+	// turn into a multi-gigabyte allocation.
+	MaxServers int
+	// MaxTenants caps the number of live tenants; observations for a new
+	// tenant beyond the cap are dropped and counted (0 = 256). Evicted
+	// tenants (see Sweep) free their slot.
+	MaxTenants int
 	// Now supplies the clock (nil = time.Now); tests inject a fake.
 	Now func() time.Time
 }
@@ -97,6 +108,12 @@ func New(cfg Config) *Aggregator {
 	if cfg.MaxChannels <= 0 {
 		cfg.MaxChannels = DefaultMaxChannels
 	}
+	if cfg.MaxServers <= 0 {
+		cfg.MaxServers = DefaultMaxServers
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -120,18 +137,55 @@ func channelName(ev *trace.Event) string {
 	}
 }
 
-// ErrChannelLimit reports an observation dropped at the channel cap.
-var ErrChannelLimit = fmt.Errorf("ingest: channel limit reached")
+// Capacity-drop sentinels: the observation was structurally fine but
+// folding it in would exceed a configured bound, so it is dropped and
+// the aggregator is left exactly as it was.
+var (
+	// ErrChannelLimit reports an observation dropped at the channel cap.
+	ErrChannelLimit = fmt.Errorf("ingest: channel limit reached")
+	// ErrServerLimit reports an observation naming a server index (or a
+	// meta event claiming a system size) beyond the configured cap.
+	ErrServerLimit = fmt.Errorf("ingest: server index limit exceeded")
+	// ErrTenantLimit reports an observation dropped at the tenant cap.
+	ErrTenantLimit = fmt.Errorf("ingest: tenant limit reached")
+)
 
-// Observe folds one validated event into tenant's active window. It
-// returns ErrChannelLimit (the observation is dropped, the aggregator
-// stays consistent) when the event would create a channel beyond the
-// configured cap, or the event's own validation error.
+// checkServers bounds the server indices an event may name — the
+// ingest-side analogue of the trace reader's checkRange, against the
+// configured cap rather than a meta event. Without it, StatsSet.Grow
+// would allocate sketches for every index up to the one named.
+func (a *Aggregator) checkServers(ev *trace.Event) error {
+	n := a.cfg.MaxServers
+	switch ev.Kind {
+	case trace.KindMeta:
+		if ev.Servers > n {
+			return fmt.Errorf("%w: meta event for %d servers (max %d)", ErrServerLimit, ev.Servers, n)
+		}
+	case trace.KindService, trace.KindFailure:
+		if ev.Server >= n {
+			return fmt.Errorf("%w: %s event for server %d (max index %d)", ErrServerLimit, ev.Kind, ev.Server, n-1)
+		}
+	case trace.KindTransfer, trace.KindFN:
+		if ev.Src >= n || ev.Dst >= n {
+			return fmt.Errorf("%w: %s event %d→%d (max index %d)", ErrServerLimit, ev.Kind, ev.Src, ev.Dst, n-1)
+		}
+	}
+	return nil
+}
+
+// Observe folds one validated event into tenant's active window. A
+// rejected observation — validation failure, server index beyond
+// MaxServers, or a ErrChannelLimit/ErrTenantLimit capacity drop —
+// leaves the aggregator untouched: no tenant or channel state is
+// created for an event that does not land.
 func (a *Aggregator) Observe(tenant string, ev trace.Event) error {
 	if ev.V == 0 {
 		ev.V = trace.Version
 	}
 	if err := ev.Validate(); err != nil {
+		return err
+	}
+	if err := a.checkServers(&ev); err != nil {
 		return err
 	}
 	now := a.cfg.Now()
@@ -140,24 +194,21 @@ func (a *Aggregator) Observe(tenant string, ev trace.Event) error {
 	defer a.mu.Unlock()
 	ts := a.tenants[tenant]
 	if ts == nil {
+		if len(a.tenants) >= a.cfg.MaxTenants {
+			return ErrTenantLimit
+		}
 		ts = &tenantState{
 			slots:     make([]*fit.StatsSet, a.cfg.Windows),
 			slotStart: now.Truncate(a.cfg.Window),
 			channels:  make(map[string]*chanMeta),
 		}
-		a.tenants[tenant] = ts
 	}
 	a.advance(ts, now)
 
 	name := channelName(&ev)
 	cm := ts.channels[name]
-	if cm == nil && ev.Kind != trace.KindMeta {
-		if a.numChannels >= a.cfg.MaxChannels {
-			return ErrChannelLimit
-		}
-		cm = &chanMeta{}
-		ts.channels[name] = cm
-		a.numChannels++
+	if cm == nil && ev.Kind != trace.KindMeta && a.numChannels >= a.cfg.MaxChannels {
+		return ErrChannelLimit
 	}
 	if ts.slots[ts.cur] == nil {
 		ts.slots[ts.cur] = fit.NewStatsSet(0, a.cfg.Buckets)
@@ -165,12 +216,19 @@ func (a *Aggregator) Observe(tenant string, ev trace.Event) error {
 	if err := ts.slots[ts.cur].AddEvent(ev); err != nil {
 		return err
 	}
+	// The observation landed: commit the bookkeeping.
+	if cm == nil && ev.Kind != trace.KindMeta {
+		cm = &chanMeta{}
+		ts.channels[name] = cm
+		a.numChannels++
+	}
 	if cm != nil {
 		cm.events++
 		cm.last = now
 	}
 	ts.events++
 	ts.last = now
+	a.tenants[tenant] = ts
 	return nil
 }
 

@@ -3,6 +3,7 @@ package ingest
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -212,6 +213,79 @@ func TestChannelCap(t *testing.T) {
 	}
 }
 
+// TestServerIndexCap: an event naming a server index (or a meta event
+// claiming a system size) beyond MaxServers is dropped before
+// StatsSet.Grow can allocate for it — the bounded-memory contract must
+// survive one hostile or typo'd line.
+func TestServerIndexCap(t *testing.T) {
+	a := New(Config{MaxServers: 4, Now: newFakeClock().Now})
+	for _, ev := range []trace.Event{
+		{Kind: trace.KindService, Server: 999_999_999, Value: 1},
+		{Kind: trace.KindFailure, Server: 4, Value: 1},
+		{Kind: trace.KindMeta, Servers: 1_000_000},
+		{Kind: trace.KindTransfer, Src: 0, Dst: 7, Tasks: 2, Value: 1},
+		{Kind: trace.KindFN, Src: 9, Dst: 0, Value: 1},
+	} {
+		if err := a.Observe("acme", ev); !errors.Is(err, ErrServerLimit) {
+			t.Errorf("Observe(%+v) = %v, want ErrServerLimit", ev, err)
+		}
+	}
+	if got := a.Footprint(); got != 0 {
+		t.Errorf("rejected events allocated %d bytes", got)
+	}
+	if _, err := a.Snapshot("acme"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("rejected events must not create the tenant, got %v", err)
+	}
+	// The highest in-range index still lands.
+	if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 3, Value: 1}); err != nil {
+		t.Fatalf("in-range index: %v", err)
+	}
+}
+
+// TestTenantCap: observations for a new tenant beyond MaxTenants are
+// dropped; existing tenants keep accepting, and eviction frees slots.
+func TestTenantCap(t *testing.T) {
+	clk := newFakeClock()
+	a := New(Config{Window: time.Minute, Windows: 2, MaxTenants: 2, Now: clk.Now})
+	ev := trace.Event{Kind: trace.KindService, Server: 0, Value: 1}
+	for _, tenant := range []string{"a", "b"} {
+		if err := a.Observe(tenant, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Observe("c", ev); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("third tenant: want ErrTenantLimit, got %v", err)
+	}
+	if err := a.Observe("a", ev); err != nil {
+		t.Fatalf("existing tenant after cap: %v", err)
+	}
+	// Idle both tenants past eviction; the sweep frees their slots.
+	clk.Advance(10 * time.Minute)
+	if st := a.Sweep(); st.Evicted != 2 {
+		t.Fatalf("evicted %d tenants, want 2", st.Evicted)
+	}
+	if err := a.Observe("c", ev); err != nil {
+		t.Fatalf("new tenant after eviction: %v", err)
+	}
+}
+
+// TestCapacityDropsCreateNoState: a new tenant whose first observation
+// is refused at the channel cap is not registered — a flood of
+// capped observations must not grow the tenant map between sweeps.
+func TestCapacityDropsCreateNoState(t *testing.T) {
+	a := New(Config{MaxChannels: 1, Now: newFakeClock().Now})
+	if err := a.Observe("acme", trace.Event{Kind: trace.KindService, Server: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Observe("other", trace.Event{Kind: trace.KindService, Server: 0, Value: 1})
+	if !errors.Is(err, ErrChannelLimit) {
+		t.Fatalf("want ErrChannelLimit, got %v", err)
+	}
+	if _, err := a.Snapshot("other"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("channel-capped observation created tenant state, got %v", err)
+	}
+}
+
 // TestSweep: channels quiet past the ring span count as stale; tenants
 // idle past twice the span are evicted and release their channel slots.
 func TestSweep(t *testing.T) {
@@ -386,6 +460,57 @@ func TestHTTPIngestAndSnapshot(t *testing.T) {
 		if r2.StatusCode != want {
 			t.Errorf("GET %s: status %d, want %d", path, r2.StatusCode, want)
 		}
+	}
+}
+
+// TestIngestPartialBatchError: when a batch fails mid-stream (here a
+// line over the scanner limit) the error response still reports how
+// many lines were already applied, so a retrying emitter can resume
+// after them instead of double-counting the whole batch.
+func TestIngestPartialBatchError(t *testing.T) {
+	clk := newFakeClock()
+	_, hs := newTestServer(t, clk)
+	batch := "acme/service.0 1.5\nacme/service.0 2.5\n" + strings.Repeat("x", 2<<20)
+	resp, err := http.Post(hs.URL+"/v1/ingest", "text/plain", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 2 || ir.Error == "" {
+		t.Fatalf("error response %+v, want accepted=2 with an error", ir)
+	}
+}
+
+// TestObserveZeroValue: a zero-valued observation is legal on the wire
+// (the line protocol admits any non-negative float); it must not poison
+// the window's log-moment accumulator and halt the refit loop.
+func TestObserveZeroValue(t *testing.T) {
+	a := New(Config{Buckets: 64, Now: newFakeClock().Now})
+	for _, ev := range []trace.Event{
+		{Kind: trace.KindService, Server: 0, Value: 0},
+		{Kind: trace.KindService, Server: 0, Value: 1.5},
+		{Kind: trace.KindFailure, Server: 0, Value: 0, Censored: true},
+	} {
+		if err := a.Observe("acme", ev); err != nil {
+			t.Fatalf("Observe(%+v): %v", ev, err)
+		}
+	}
+	snap, err := a.Snapshot("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot poisoned by a zero observation: %v", err)
+	}
+	if n := snap.Stats.Service[0].N; n != 2 {
+		t.Fatalf("service.0 n = %d, want 2", n)
 	}
 }
 

@@ -103,7 +103,7 @@ func (s *Server) observeLine(line []byte, defaultTenant string) error {
 		}
 	}
 	if err := s.agg.Observe(tenant, ev); err != nil {
-		if errors.Is(err, ErrChannelLimit) {
+		if errors.Is(err, ErrChannelLimit) || errors.Is(err, ErrServerLimit) || errors.Is(err, ErrTenantLimit) {
 			ingestDrops.Inc()
 		} else {
 			ingestParseErrors.Inc()
@@ -120,13 +120,21 @@ func (s *Server) observeLine(line []byte, defaultTenant string) error {
 type IngestResponse struct {
 	Accepted int `json:"accepted"`
 	Rejected int `json:"rejected"`
-	// Error samples the first rejection, for emitter-side debugging.
+	// Error samples the first rejection, for emitter-side debugging; on
+	// a non-200 response it is the batch-level error instead.
 	Error string `json:"error,omitempty"`
 }
 
 // handleIngest accepts a newline-separated batch of observations —
 // line-protocol lines and/or trace.v1 JSONL events, freely mixed.
 // ?tenant= names the tenant JSONL events (which carry none) land in.
+//
+// Ingestion is at-least-once: lines are folded into the aggregator as
+// they are scanned, so when a batch fails mid-stream (a line over the
+// 1 MiB limit, a body over -max-body) the lines already applied stay
+// applied. The error response carries the accepted/rejected counts so
+// a retrying emitter can resume after `accepted` lines instead of
+// re-sending (and double-counting) the whole batch.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -152,13 +160,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Accepted++
 	}
 	if err := sc.Err(); err != nil {
+		code := http.StatusBadRequest
+		resp.Error = "read batch: " + err.Error()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("batch exceeds %d bytes", s.maxBody))
-			return
+			code = http.StatusRequestEntityTooLarge
+			resp.Error = fmt.Sprintf("batch exceeds %d bytes", s.maxBody)
 		}
-		s.fail(w, http.StatusBadRequest, "read batch: "+err.Error())
+		writeJSON(w, code, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
