@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke load-smoke replicate-smoke ingest-smoke clean
+.PHONY: all build test vet race bench bench-policy serve-smoke adapt-smoke load-smoke replicate-smoke ingest-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ vet:
 # The full suite under -race is slow (the solvers are CPU-bound); race
 # covers the packages that actually share state across goroutines.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/trace ./internal/adapt ./internal/ingest ./internal/load ./dist ./dist/fit ./modelspec
+	$(GO) test -race -timeout 30m ./internal/obs ./internal/sim ./internal/des ./internal/testbed ./internal/par ./internal/policy ./internal/direct ./internal/exper ./internal/serve ./internal/cluster ./internal/trace ./internal/adapt ./internal/ingest ./internal/load ./dist ./dist/fit ./modelspec
 
 # Boot dtrserved on a random port, drive every endpoint plus a /metrics
 # scrape, and verify a clean SIGTERM drain.
@@ -46,6 +46,11 @@ replicate-smoke:
 # through dtrplan, and verify a clean SIGTERM drain.
 ingest-smoke:
 	sh scripts/ingest_smoke.sh
+
+# Boot a 3-replica dtrserved fleet, verify fleet-wide compute-once
+# routing, owner-failure ejection and the snapshot-backed warm restart.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -52,7 +52,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dtrload", flag.ContinueOnError)
-	addr := fs.String("addr", "", "dtrserved base URL, e.g. http://127.0.0.1:8080 (required)")
+	addr := fs.String("addr", "", "dtrserved base URL(s), comma-separated for a sharded fleet, e.g. http://127.0.0.1:8080 (required)")
 	specPath := fs.String("spec", "", "path to the JSON system specification every request carries (required)")
 	verbsFlag := fs.String("verbs", "optimize,metrics", "comma-separated planning verbs to mix, round-robin")
 	rpsFlag := fs.String("rps", "2,8", "comma-separated offered request rates; each runs for -duration")
@@ -106,8 +106,13 @@ func run(args []string, out *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	var targets []string
+	for _, a := range splitList(*addr) {
+		targets = append(targets, strings.TrimRight(a, "/"))
+	}
+
 	rep, err := load.Run(ctx, load.Config{
-		BaseURL:   strings.TrimRight(*addr, "/"),
+		Targets:   targets,
 		Spec:      spec,
 		Verbs:     verbs,
 		RPS:       rps,
@@ -191,6 +196,10 @@ func printSummary(w *os.File, rep *load.Report) {
 			fmt.Fprintf(w, "dtrload: %6.1f rps %-9s n=%-5d p50=%.1fms p99=%.1fms p999=%.1fms err=%.2f%% rej=%.2f%% %s\n",
 				lvl.RPS, vs.Verb, vs.Requests, vs.P50Ms, vs.P99Ms, vs.P999Ms,
 				100*vs.ErrorRate, 100*vs.RejectRate, verdict)
+		}
+		if f := lvl.Fleet; f != nil {
+			fmt.Fprintf(w, "dtrload: %6.1f rps fleet     shards=%d computes=%d hits=%d misses=%d forwarded=%d hitRate=%.1f%%\n",
+				lvl.RPS, f.Targets, f.Computes, f.CacheHits, f.CacheMisses, f.Forwarded, 100*f.CacheHitRate)
 		}
 	}
 }

@@ -13,18 +13,28 @@
 //	/v1/bounds    batch-arrival metric bounds
 //	/v1/cdf       completion-time distribution curve
 //	/v1/explain   optimize + versioned solver-health/convergence artifact
-//	/v1/batch     fan-out of the above in one call
-//	/v1/fit       fit a modelspec document to captured trace events
-//	/healthz      readiness probe (GET; 503 once draining)
+//	/v1/batch        fan-out of the above in one call
+//	/v1/fit          fit a modelspec document to captured trace events
+//	/v1/cache/warm   peer cache fill (GET; dtr.cachesnap.v1 document)
+//	/healthz         liveness probe (GET; 200 while the process runs)
+//	/readyz          readiness probe (GET; 503 while warming or draining)
 //
 // Telemetry rides on the same listener: /metrics (Prometheus text),
 // /metrics.json, /debug/vars, /debug/solver (solver-health rollup) and —
 // with -pprof — /debug/pprof/.
 //
-// SIGTERM/SIGINT drain gracefully: /healthz flips to 503 so load
-// balancers stop routing here, the listener closes, in-flight requests
-// run to completion (bounded by -drain-timeout), then the process
-// exits 0.
+// Cluster mode (-peers with -self) makes this replica one shard of a
+// fleet: a consistent-hash ring over canonical request fingerprints
+// routes each distinct spec to one owner, peers probe each other's
+// /readyz and eject dead members, and a restarting replica warms its
+// cache from -cache-snapshot and its peers before reporting ready. See
+// the README "Clustering" section.
+//
+// SIGTERM/SIGINT drain gracefully: /readyz flips to 503 so load
+// balancers and cluster peers stop routing here, the listener closes,
+// in-flight requests run to completion (bounded by -drain-timeout), the
+// result cache is snapshotted to -cache-snapshot (when set), then the
+// process exits 0.
 package main
 
 import (
@@ -37,9 +47,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dtr/internal/cluster"
 	"dtr/internal/obs"
 	"dtr/internal/par"
 	"dtr/internal/serve"
@@ -72,6 +84,13 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request computation deadline; expiry answers 504")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size cap in bytes; beyond it requests get 413")
 	cacheSize := fs.Int("cache", 512, "result-cache entries (LRU; -1 disables caching)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result-cache byte cap; evicts LRU entries beyond it (0 = entry count only)")
+	cacheSnap := fs.String("cache-snapshot", "", "snapshot the result cache to this file on drain and reload it on boot")
+	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (self included) — enables cluster mode")
+	self := fs.String("self", "", "this replica's own base URL as it appears in -peers (required with -peers)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "cluster peer health-probe period (negative disables probing)")
+	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "per-attempt deadline for requests forwarded to their owner replica")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "launch the ring-successor attempt this long after the owner attempt (0 = only on owner failure)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting")
 	withPProf := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service listener")
 	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error or off")
@@ -98,6 +117,14 @@ func run(args []string) error {
 	if *timeout <= 0 || *drain <= 0 {
 		fs.Usage()
 		return fmt.Errorf("%w: -timeout and -drain-timeout must be positive", errUsage)
+	}
+	if *peers != "" && *self == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: -peers requires -self (this replica's own URL)", errUsage)
+	}
+	if *peers == "" && *self != "" {
+		fs.Usage()
+		return fmt.Errorf("%w: -self is meaningful only with -peers", errUsage)
 	}
 
 	// One registry for the whole process: the serve layer's own metrics
@@ -137,6 +164,31 @@ func run(args []string) error {
 		}()
 	}
 
+	// Cluster mode: a static peer list turns this replica into one shard
+	// of a fleet. The cluster's health prober starts once we listen.
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:           strings.TrimRight(*self, "/"),
+			Peers:          peerList,
+			ProbeInterval:  *probeInterval,
+			ForwardTimeout: *forwardTimeout,
+			HedgeDelay:     *hedgeDelay,
+			Registry:       reg,
+		})
+		if err != nil {
+			fs.Usage()
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+	}
+
 	svc := serve.New(serve.Config{
 		Workers:     workers.N,
 		MaxInflight: *maxInflight,
@@ -144,6 +196,8 @@ func run(args []string) error {
 		Timeout:     *timeout,
 		MaxBody:     *maxBody,
 		CacheSize:   *cacheSize,
+		CacheBytes:  *cacheBytes,
+		Cluster:     cl,
 		Registry:    reg,
 		Tracer:      tracer,
 	})
@@ -165,9 +219,40 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "dtrserved: listening on http://%s\n", bound)
 	obs.Logger().Info("dtrserved up", "addr", bound, "workers", par.Workers(workers.N))
 
+	// Warm boot: until the snapshot reloads and the fleet is consulted,
+	// /readyz reports warming so cluster peers and load balancers hold
+	// traffic off a cold cache. Warming is asynchronous and best-effort —
+	// the listener and /healthz are up immediately, and a failed warm
+	// still becomes ready (cold), never a failed boot.
+	if *cacheSnap != "" || cl != nil {
+		svc.SetReady(false)
+		go func() {
+			if *cacheSnap != "" {
+				if n, err := svc.LoadCacheSnapshotFile(*cacheSnap); err != nil {
+					obs.Logger().Warn("cache snapshot reload failed", "path", *cacheSnap, "err", err)
+				} else if n > 0 {
+					obs.Logger().Info("cache snapshot reloaded", "path", *cacheSnap, "entries", n)
+				}
+			}
+			if cl != nil {
+				warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if n := svc.WarmFromPeers(warmCtx); n > 0 {
+					obs.Logger().Info("cache warmed from peers", "entries", n)
+				}
+				cancel()
+			}
+			svc.SetReady(true)
+		}()
+	}
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+	}
+
 	srv := &http.Server{Handler: mux}
-	// The instant Shutdown begins, /healthz reports draining so load
-	// balancers pull this instance before its listener disappears.
+	// The instant Shutdown begins, /readyz reports draining so load
+	// balancers and cluster peers pull this instance before its listener
+	// disappears.
 	srv.RegisterOnShutdown(svc.StartDrain)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -189,6 +274,14 @@ func run(args []string) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed
+	// Snapshot-on-drain: persist the warm cache so the next boot (or a
+	// peer fill) starts hot instead of recomputing the working set.
+	if *cacheSnap != "" {
+		if err := svc.WriteCacheSnapshot(*cacheSnap); err != nil {
+			return fmt.Errorf("cache snapshot: %w", err)
+		}
+		obs.Logger().Info("cache snapshot written", "path", *cacheSnap)
+	}
 	obs.Logger().Info("dtrserved stopped")
 	if tracer != nil {
 		if err := tracer.Err(); err != nil {

@@ -11,6 +11,7 @@
 //	dashboards/dtr-solver.json         solver throughput and the adapt loop
 //	dashboards/dtr-solver-health.json  numerical error budgets and convergence health
 //	dashboards/dtr-ingest.json         streaming ingest intake, rejections, staleness
+//	dashboards/dtr-cluster.json        fleet forwarding, ring membership, cache warmth
 //	dashboards/alerts.yml              Prometheus alerting rules
 package dashboards
 
@@ -18,11 +19,11 @@ import "embed"
 
 // FS holds the dashboard JSON documents and the alert rules.
 //
-//go:embed dtr-serve.json dtr-solver.json dtr-solver-health.json dtr-ingest.json alerts.yml
+//go:embed dtr-serve.json dtr-solver.json dtr-solver-health.json dtr-ingest.json dtr-cluster.json alerts.yml
 var FS embed.FS
 
 // Dashboards lists the embedded Grafana dashboard files.
-var Dashboards = []string{"dtr-serve.json", "dtr-solver.json", "dtr-solver-health.json", "dtr-ingest.json"}
+var Dashboards = []string{"dtr-serve.json", "dtr-solver.json", "dtr-solver-health.json", "dtr-ingest.json", "dtr-cluster.json"}
 
 // AlertRules is the embedded Prometheus rule file.
 const AlertRules = "alerts.yml"

@@ -155,6 +155,15 @@ func TestDashboardsCoverRequiredSignals(t *testing.T) {
 		"dtr_ingest_drops_total",
 		"dtr_ingest_stale_channels",
 		"dtr_ingest_flush_seconds",
+		"dtr_cluster_forward_total",
+		"dtr_cluster_forward_seconds",
+		"dtr_cluster_forward_failures_total",
+		"dtr_cluster_peers_alive",
+		"dtr_cluster_ring_share",
+		"dtr_serve_forwarded_total",
+		"dtr_serve_cache_bytes",
+		"dtr_serve_snapshot_loaded_total",
+		"dtr_serve_warm_pulled_total",
 	} {
 		if !strings.Contains(all.String(), metric) {
 			t.Errorf("no dashboard panel queries %s", metric)

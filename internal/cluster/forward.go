@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dtr/internal/obs"
+)
+
+// Response is one forwarded request's outcome: whatever the answering
+// peer said, verbatim. A non-200 status is a real answer (the owner's
+// 400/429/504 is exactly what this replica would have produced or what
+// admission semantics require) — only transport-level failures count as
+// forwarding failures.
+type Response struct {
+	Status int
+	Body   []byte
+	Peer   string // the peer that answered
+}
+
+// ErrForwardFailed reports that neither the owner nor its ring
+// successor could be reached; the caller should degrade to local
+// computation.
+var ErrForwardFailed = errors.New("cluster: forward failed")
+
+// maxForwardBody caps a forwarded response read (defense against a
+// misconfigured peer URL pointing at something that streams forever).
+const maxForwardBody = 64 << 20
+
+// Route reports where key's computation belongs: the owning peer URL
+// and whether that is a remote replica this request should be forwarded
+// to. local is true when self owns the key (or the live ring is empty).
+func (c *Cluster) Route(key string) (owner string, local bool) {
+	owner = c.Owner(key)
+	return owner, owner == "" || owner == c.self
+}
+
+// Forward sends one planning request to key's owner, hedging a single
+// retry against the next ring successor: immediately on an owner
+// transport failure, or — with HedgeDelay configured — on a timer
+// without waiting for the owner to fail. The first HTTP answer wins.
+// span (nil-safe) carries the forward sub-spans and propagates the W3C
+// traceparent so the owner's trace continues this request's tree.
+//
+// Returns ErrForwardFailed when every target failed at the transport
+// level; the caller computes locally.
+func (c *Cluster) Forward(ctx context.Context, span *obs.Span, key, path string, body []byte) (*Response, error) {
+	owner, local := c.Route(key)
+	if local {
+		return nil, fmt.Errorf("cluster: self owns %s", key)
+	}
+	succ := c.successor(key, owner)
+
+	type attempt struct {
+		resp *Response
+		err  error
+	}
+	ch := make(chan attempt, 2)
+	launch := func(peer string) {
+		go func() {
+			resp, err := c.attempt(ctx, span, peer, path, body)
+			ch <- attempt{resp, err}
+		}()
+	}
+
+	launch(owner)
+	pending := 1
+	hedged := false
+	var hedge <-chan time.Time
+	if c.cfg.HedgeDelay > 0 && succ != "" {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				return a.resp, nil
+			}
+			lastErr = a.err
+			if !hedged && succ != "" {
+				// Owner failed before any hedge fired: single retry
+				// against the successor.
+				hedged = true
+				launch(succ)
+				pending++
+				continue
+			}
+			if pending == 0 {
+				c.reg.Counter("dtr_cluster_forward_failures_total").Add(1)
+				return nil, fmt.Errorf("%w: %v", ErrForwardFailed, lastErr)
+			}
+		case <-hedge:
+			hedge = nil
+			if !hedged {
+				hedged = true
+				c.reg.Counter("dtr_cluster_hedges_total").Add(1)
+				launch(succ)
+				pending++
+			}
+		case <-ctx.Done():
+			c.reg.Counter("dtr_cluster_forward_failures_total").Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrForwardFailed, ctx.Err())
+		}
+	}
+}
+
+// attempt issues one forwarded request to peer.
+func (c *Cluster) attempt(ctx context.Context, span *obs.Span, peer, path string, body []byte) (*Response, error) {
+	aspan := span.Child("forward_attempt", "peer", peer)
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		aspan.SetAttr("error", err)
+		aspan.End()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HopHeader, c.self)
+	if tp := span.Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
+	c.reg.Counter(obs.Name("dtr_cluster_forward_total", "peer", peer)).Add(1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.reg.Counter(obs.Name("dtr_cluster_forward_errors_total", "peer", peer)).Add(1)
+		aspan.SetAttr("error", err)
+		aspan.End()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		c.reg.Counter(obs.Name("dtr_cluster_forward_errors_total", "peer", peer)).Add(1)
+		aspan.SetAttr("error", err)
+		aspan.End()
+		return nil, err
+	}
+	sec := time.Since(t0).Seconds()
+	c.reg.Histogram(obs.Name("dtr_cluster_forward_seconds", "peer", peer), nil).Observe(sec)
+	aspan.SetAttr("code", resp.StatusCode)
+	aspan.End()
+	return &Response{Status: resp.StatusCode, Body: b, Peer: peer}, nil
+}
+
+// FetchWarm pulls the cache entries self owns from peer's
+// /v1/cache/warm endpoint, returning the raw snapshot document. The
+// serve layer decodes, re-validates and inserts the entries.
+func (c *Cluster) FetchWarm(ctx context.Context, peer string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/v1/cache/warm?peer="+url.QueryEscape(c.self), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: warm pull from %s: HTTP %d", peer, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func memberNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// randomKeys yields fingerprint-shaped keys (hex strings) from a fixed
+// seed so the properties are reproducible.
+func randomKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%016x%016x%016x%016x", rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64())
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := memberNames(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1]}
+	a := NewRing(members, 0, 0)
+	b := NewRing(shuffled, 0, 0)
+	for _, k := range randomKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner disagreement for %s: %s vs %s (member order must not matter)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingLoadBalanceBound is the bounded-load property: across 10k
+// random fingerprints no member receives more than loadFactor times its
+// fair share of keys, modulo sampling noise. The hash-space shares are
+// bounded by construction; the key-count check verifies the bound
+// translates to real traffic.
+func TestRingLoadBalanceBound(t *testing.T) {
+	const nKeys = 10_000
+	for _, nMembers := range []int{2, 3, 5, 8} {
+		r := NewRing(memberNames(nMembers), 0, 0)
+		// Hash-space shares respect the cap exactly.
+		for _, m := range r.Members() {
+			cap := DefaultLoadFactor / float64(nMembers)
+			if s := r.Share(m); s > cap*1.000001 {
+				t.Errorf("n=%d: member %s owns %.4f of hash space, cap %.4f", nMembers, m, s, cap)
+			}
+		}
+		counts := map[string]int{}
+		for _, k := range randomKeys(nKeys) {
+			o := r.Owner(k)
+			if o == "" {
+				t.Fatalf("n=%d: empty owner", nMembers)
+			}
+			counts[o]++
+		}
+		fair := float64(nKeys) / float64(nMembers)
+		// 5% slack over the configured bound absorbs sampling noise at
+		// 10k draws.
+		bound := fair * DefaultLoadFactor * 1.05
+		for m, c := range counts {
+			if float64(c) > bound {
+				t.Errorf("n=%d: member %s owns %d/%d keys, bound %.0f", nMembers, m, c, nKeys, bound)
+			}
+		}
+		if len(counts) != nMembers {
+			t.Errorf("n=%d: only %d members received keys", nMembers, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalRemap is the minimal-disruption property: removing one
+// member remaps only the keys it owned plus a small epsilon (keys the
+// bounded-load pass reassigns because the budget per member changed).
+func TestRingMinimalRemap(t *testing.T) {
+	const nKeys = 10_000
+	members := memberNames(6)
+	before := NewRing(members, 0, 0)
+	after := NewRing(members[:5], 0, 0) // member 6 leaves
+	removed := members[5]
+
+	keys := randomKeys(nKeys)
+	owned, moved := 0, 0
+	for _, k := range keys {
+		o1 := before.Owner(k)
+		if o1 == removed {
+			owned++
+			continue // these keys must move; not counted as disruption
+		}
+		if after.Owner(k) != o1 {
+			moved++
+		}
+	}
+	// Ideal consistent hashing moves zero surviving keys. The
+	// bounded-load pass may shuffle a few arcs near the budget edge;
+	// allow epsilon = 5% of the keyspace.
+	eps := int(0.05 * nKeys)
+	if moved > eps {
+		t.Fatalf("membership change moved %d/%d surviving keys (removed member owned %d), epsilon %d",
+			moved, nKeys, owned, eps)
+	}
+	// And the removed member's keys must land somewhere valid.
+	if owned == 0 {
+		t.Fatal("removed member owned no keys — test is vacuous")
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(memberNames(4), 0, 0)
+	for _, k := range randomKeys(200) {
+		owner := r.Owner(k)
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("got %d successors, want 3", len(succ))
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successor %s repeats owner or earlier successor", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0, 0)
+	if o := empty.Owner("k"); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	if s := empty.Successors("k", 2); s != nil {
+		t.Fatalf("empty ring successors = %v", s)
+	}
+	single := NewRing([]string{"http://a"}, 0, 0)
+	if o := single.Owner("k"); o != "http://a" {
+		t.Fatalf("single ring owner = %q", o)
+	}
+	if s := single.Share("http://a"); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("single ring share = %g, want 1", s)
+	}
+	dup := NewRing([]string{"http://a", "http://a", "http://b"}, 0, 0)
+	if dup.Len() != 2 {
+		t.Fatalf("dedup failed: len = %d", dup.Len())
+	}
+	if s := NewRing(memberNames(3), 0, 0).Share("http://absent"); s != 0 {
+		t.Fatalf("share of non-member = %g", s)
+	}
+}

@@ -41,6 +41,11 @@ type SLO struct {
 type Config struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, spreads requests round-robin over several
+	// service roots (a sharded dtrserved fleet) and scrapes each one's
+	// /metrics.json around every rate level for fleet-wide compute and
+	// cache-hit deltas. Empty = just BaseURL.
+	Targets []string
 	// Client issues the requests (nil = a client with Timeout 30s).
 	Client *http.Client
 	// Spec is the modelspec document every request carries.
@@ -107,12 +112,28 @@ type LevelReport struct {
 	Offered     int         `json:"offered"`
 	Completed   int         `json:"completed"`
 	Verbs       []VerbStats `json:"verbs"`
+	// Fleet carries fleet-wide server-side counter deltas for this level
+	// (present when every target's /metrics.json was scrapeable).
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats are server-side counter deltas summed across every target
+// over one rate level: how much real solver work the offered load cost
+// the fleet, and how much the cache tiers absorbed.
+type FleetStats struct {
+	Targets      int     `json:"targets"`
+	Computes     uint64  `json:"computes"`
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	Forwarded    uint64  `json:"forwarded"`
+	CacheHitRate float64 `json:"cacheHitRate"` // hits / (hits + misses)
 }
 
 // Report is the BENCH_serve.json document.
 type Report struct {
 	Schema  string        `json:"schema"`
 	BaseURL string        `json:"baseUrl"`
+	Targets []string      `json:"targets,omitempty"` // all shards when > 1
 	Start   time.Time     `json:"start"`
 	SLO     SLO           `json:"slo"`
 	SLOPass bool          `json:"sloPass"`
@@ -131,8 +152,14 @@ type outcome struct {
 // cancellation aborts between launches; in-flight requests still finish
 // (bounded by the client timeout).
 func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Targets) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("load: BaseURL required")
+		}
+		cfg.Targets = []string{cfg.BaseURL}
+	}
 	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("load: BaseURL required")
+		cfg.BaseURL = cfg.Targets[0]
 	}
 	if len(cfg.Spec) == 0 {
 		return nil, fmt.Errorf("load: Spec required")
@@ -160,10 +187,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{Schema: ReportSchema, BaseURL: cfg.BaseURL, Start: time.Now().UTC(), SLO: cfg.SLO, SLOPass: true}
+	if len(cfg.Targets) > 1 {
+		rep.Targets = cfg.Targets
+	}
 	for _, rps := range cfg.RPS {
+		before := scrapeFleet(ctx, client, cfg.Targets)
 		lvl, err := runLevel(ctx, client, &cfg, rps)
 		if err != nil {
 			return nil, err
+		}
+		if after := scrapeFleet(ctx, client, cfg.Targets); before != nil && after != nil {
+			lvl.Fleet = fleetDelta(len(cfg.Targets), before, after)
 		}
 		for _, vs := range lvl.Verbs {
 			if !vs.SLOPass {
@@ -197,11 +231,12 @@ func runLevel(ctx context.Context, client *http.Client, cfg *Config, rps float64
 		}
 		verb := cfg.Verbs[i%len(cfg.Verbs)]
 		variant := i % cfg.Variants
+		target := cfg.Targets[i%len(cfg.Targets)]
 		launched++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o := issue(ctx, client, cfg, verb, variant)
+			o := issue(ctx, client, cfg, target, verb, variant)
 			mu.Lock()
 			outs = append(outs, o)
 			mu.Unlock()
@@ -224,14 +259,14 @@ func runLevel(ctx context.Context, client *http.Client, cfg *Config, rps float64
 	return lvl, nil
 }
 
-// issue sends one request and classifies its outcome.
-func issue(ctx context.Context, client *http.Client, cfg *Config, verb string, variant int) outcome {
+// issue sends one request to target and classifies its outcome.
+func issue(ctx context.Context, client *http.Client, cfg *Config, target, verb string, variant int) outcome {
 	body, err := json.Marshal(request(cfg, verb, variant))
 	if err != nil {
 		return outcome{verb: verb, code: 0}
 	}
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/"+verb, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/"+verb, bytes.NewReader(body))
 	if err != nil {
 		return outcome{verb: verb, code: 0}
 	}
@@ -357,6 +392,58 @@ func exemplars(outs []outcome, slo SLO, p99 float64) []Exemplar {
 		ex = append(ex, Exemplar{TraceID: o.trace, Ms: o.ms, Code: o.code})
 	}
 	return ex
+}
+
+// scrapeFleet reads every target's /metrics.json counter snapshot.
+// Returns nil when any target could not be scraped — fleet stats are
+// all-or-nothing so deltas never silently under-count a shard.
+func scrapeFleet(ctx context.Context, client *http.Client, targets []string) []obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(targets))
+	for _, target := range targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics.json", nil)
+		if err != nil {
+			return nil
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil
+		}
+		var snap obs.Snapshot
+		derr := json.NewDecoder(resp.Body).Decode(&snap)
+		_ = resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// fleetDelta folds per-target before/after snapshots into one level's
+// fleet-wide counter deltas.
+func fleetDelta(targets int, before, after []obs.Snapshot) *FleetStats {
+	sum := func(name string) uint64 {
+		var d uint64
+		for i := range after {
+			a := after[i].Counters[name]
+			b := before[i].Counters[name]
+			if a > b {
+				d += a - b
+			}
+		}
+		return d
+	}
+	fs := &FleetStats{
+		Targets:     targets,
+		Computes:    sum("dtr_serve_computes_total"),
+		CacheHits:   sum("dtr_serve_cache_hits_total"),
+		CacheMisses: sum("dtr_serve_cache_misses_total"),
+		Forwarded:   sum("dtr_serve_forwarded_total"),
+	}
+	if tot := fs.CacheHits + fs.CacheMisses; tot > 0 {
+		fs.CacheHitRate = float64(fs.CacheHits) / float64(tot)
+	}
+	return fs
 }
 
 // quantile reads the q-quantile from a sorted sample (nearest-rank).

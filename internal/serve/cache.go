@@ -6,23 +6,37 @@ import (
 )
 
 // lru is a bounded, thread-safe result cache mapping canonical request
-// fingerprints to finished response bodies. Entries are evicted least
-// recently used; a capacity ≤ 0 disables caching entirely (every Get
-// misses, every Put is dropped).
+// fingerprints to finished response bodies plus the canonical request
+// that produced them (verb, canonical spec JSON, canonical options
+// JSON — the snapshot and peer-fill tiers need the request to
+// re-validate a fingerprint on reload). Entries are evicted least
+// recently used; eviction triggers on either bound: entry count over
+// cap, or total byte footprint over maxBytes. A capacity ≤ 0 disables
+// caching entirely (every Get misses, every Put is dropped).
 type lru struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recent
-	byKK map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	byKK     map[string]*list.Element
 }
 
 type lruEntry struct {
 	key  string
 	body []byte
+	verb string
+	spec []byte // canonical spec JSON
+	opts []byte // canonical options JSON
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, ll: list.New(), byKK: make(map[string]*list.Element)}
+// size is the entry's accounted byte footprint.
+func (e *lruEntry) size() int64 {
+	return int64(len(e.key) + len(e.body) + len(e.verb) + len(e.spec) + len(e.opts))
+}
+
+func newLRU(capacity int, maxBytes int64) *lru {
+	return &lru{cap: capacity, maxBytes: maxBytes, ll: list.New(), byKK: make(map[string]*list.Element)}
 }
 
 // Get returns the cached body for key and marks it recently used.
@@ -40,26 +54,37 @@ func (c *lru) Get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).body, true
 }
 
-// Put stores body under key, evicting the least recently used entry when
-// over capacity. The body is retained as-is: callers must not mutate it
-// afterwards.
-func (c *lru) Put(key string, body []byte) {
+// Put stores body (and the canonical request behind it) under key,
+// evicting least-recently-used entries while either bound is exceeded.
+// Byte slices are retained as-is: callers must not mutate them
+// afterwards. Returns the number of entries evicted.
+func (c *lru) Put(key string, body []byte, verb string, spec, opts []byte) int {
 	if c.cap <= 0 {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKK[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).body = body
-		return
+		e := el.Value.(*lruEntry)
+		c.bytes -= e.size()
+		e.body, e.verb, e.spec, e.opts = body, verb, spec, opts
+		c.bytes += e.size()
+	} else {
+		e := &lruEntry{key: key, body: body, verb: verb, spec: spec, opts: opts}
+		c.byKK[key] = c.ll.PushFront(e)
+		c.bytes += e.size()
 	}
-	c.byKK[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
-	for c.ll.Len() > c.cap {
+	evicted := 0
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.byKK, back.Value.(*lruEntry).key)
+		e := back.Value.(*lruEntry)
+		c.bytes -= e.size()
+		delete(c.byKK, e.key)
+		evicted++
 	}
+	return evicted
 }
 
 // Len returns the current entry count.
@@ -67,4 +92,23 @@ func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the accounted byte footprint of all entries.
+func (c *lru) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Entries snapshots every cached entry, least recently used first, so a
+// reload that re-inserts in order reproduces the recency order.
+func (c *lru) Entries() []lruEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*lruEntry))
+	}
+	return out
 }

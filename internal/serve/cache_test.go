@@ -7,14 +7,19 @@ import (
 	"time"
 )
 
+// put inserts a body with placeholder canonical-request metadata.
+func put(c *lru, key string, body []byte) int {
+	return c.Put(key, body, "optimize", []byte(`{}`), []byte(`{}`))
+}
+
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
-	c.Put("a", []byte("1"))
-	c.Put("b", []byte("2"))
+	c := newLRU(2, 0)
+	put(c, "a", []byte("1"))
+	put(c, "b", []byte("2"))
 	if _, ok := c.Get("a"); !ok { // touch a: b becomes the eviction victim
 		t.Fatal("a missing")
 	}
-	c.Put("c", []byte("3"))
+	put(c, "c", []byte("3"))
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -30,9 +35,9 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestLRUUpdate(t *testing.T) {
-	c := newLRU(4)
-	c.Put("k", []byte("old"))
-	c.Put("k", []byte("new"))
+	c := newLRU(4, 0)
+	put(c, "k", []byte("old"))
+	put(c, "k", []byte("new"))
 	if v, _ := c.Get("k"); !bytes.Equal(v, []byte("new")) {
 		t.Fatalf("k = %q", v)
 	}
@@ -42,13 +47,76 @@ func TestLRUUpdate(t *testing.T) {
 }
 
 func TestLRUDisabled(t *testing.T) {
-	c := newLRU(-1)
-	c.Put("k", []byte("v"))
+	c := newLRU(-1, 0)
+	put(c, "k", []byte("v"))
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("disabled cache stored an entry")
 	}
 	if c.Len() != 0 {
 		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUByteAccounting(t *testing.T) {
+	c := newLRU(100, 0)
+	if c.Bytes() != 0 {
+		t.Fatalf("empty bytes = %d", c.Bytes())
+	}
+	put(c, "a", []byte("1234"))
+	want := (&lruEntry{key: "a", body: []byte("1234"), verb: "optimize", spec: []byte(`{}`), opts: []byte(`{}`)}).size()
+	if c.Bytes() != want {
+		t.Fatalf("bytes = %d, want %d", c.Bytes(), want)
+	}
+	put(c, "a", []byte("12")) // update shrinks the accounted size
+	if c.Bytes() != want-2 {
+		t.Fatalf("after update: bytes = %d, want %d", c.Bytes(), want-2)
+	}
+}
+
+func TestLRUByteCapEvicts(t *testing.T) {
+	c := newLRU(100, 0)
+	put(c, "a", []byte("x"))
+	per := c.Bytes() // per-entry footprint (identical keys/bodies sizes below)
+	c = newLRU(100, 3*per)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		put(c, k, []byte("x"))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (byte cap %d, per-entry %d)", c.Len(), 3*per, per)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oldest entry should have been evicted by the byte cap")
+	}
+	if c.Bytes() > 3*per {
+		t.Fatalf("bytes = %d over cap %d", c.Bytes(), 3*per)
+	}
+}
+
+func TestLRUByteCapKeepsLast(t *testing.T) {
+	// One oversized entry never evicts itself: the byte cap keeps at
+	// least one entry so a giant result is still cacheable.
+	c := newLRU(100, 4)
+	evicted := put(c, "big", bytes.Repeat([]byte("x"), 64))
+	if evicted != 0 || c.Len() != 1 {
+		t.Fatalf("evicted=%d len=%d, want 0 and 1", evicted, c.Len())
+	}
+}
+
+func TestLRUEntriesOrder(t *testing.T) {
+	c := newLRU(10, 0)
+	put(c, "a", []byte("1"))
+	put(c, "b", []byte("2"))
+	put(c, "c", []byte("3"))
+	c.Get("a") // touch: order is now b, c, a (oldest first)
+	var keys []string
+	for _, e := range c.Entries() {
+		keys = append(keys, e.key)
+	}
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("entries order = %v, want %v", keys, want)
+		}
 	}
 }
 

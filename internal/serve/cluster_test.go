@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dtr/internal/cluster"
+	"dtr/internal/obs"
+)
+
+// newFleet boots n replicas wired into one cluster (probing disabled:
+// tests drive membership directly). The httptest servers exist before
+// the Services so every replica knows the full peer URL list at
+// construction, exactly like a static -peers flag.
+func newFleet(t *testing.T, n int, each func(i int, cfg *Config)) ([]*Service, []*obs.Registry, []*httptest.Server) {
+	t.Helper()
+	muxes := make([]*http.ServeMux, n)
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range muxes {
+		muxes[i] = http.NewServeMux()
+		servers[i] = httptest.NewServer(muxes[i])
+		t.Cleanup(servers[i].Close)
+		urls[i] = servers[i].URL
+	}
+	svcs := make([]*Service, n)
+	regs := make([]*obs.Registry, n)
+	for i := range svcs {
+		regs[i] = obs.NewRegistry()
+		cl, err := cluster.New(cluster.Config{
+			Self:           urls[i],
+			Peers:          urls,
+			ProbeInterval:  -1,
+			ForwardTimeout: 10 * time.Second,
+			Registry:       regs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Stop)
+		cfg := Config{Workers: 2, Registry: regs[i], Cluster: cl}
+		if each != nil {
+			each(i, &cfg)
+		}
+		svcs[i] = New(cfg)
+		svcs[i].Register(muxes[i])
+	}
+	return svcs, regs, servers
+}
+
+// fleetComputes sums solver executions across the fleet.
+func fleetComputes(regs []*obs.Registry) uint64 {
+	var total uint64
+	for _, r := range regs {
+		total += r.Snapshot().Counters["dtr_serve_computes_total"]
+	}
+	return total
+}
+
+// fingerprintFor derives the canonical cache key an optimize request
+// with this grid would get.
+func fingerprintFor(t *testing.T, spec string, grid int) string {
+	t.Helper()
+	pr, err := parseRequest("optimize", &Request{Spec: json.RawMessage(spec), Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr.key
+}
+
+// gridOwnedBy searches optimize-request grids until the key lands on
+// the wanted owner (replica index), returning the grid.
+func gridOwnedBy(t *testing.T, svcs []*Service, servers []*httptest.Server, owner int) int {
+	t.Helper()
+	for g := minGrid; g <= maxGrid; g += 64 {
+		key := fingerprintFor(t, specJSON, g)
+		if svcs[0].cluster.OwnerStatic(key) == servers[owner].URL {
+			return g
+		}
+	}
+	t.Fatalf("no grid hashes to replica %d", owner)
+	return 0
+}
+
+// TestClusterSingleComputeAcrossFleet is the acceptance property: two
+// concurrent identical requests to two DIFFERENT replicas produce
+// exactly one solver computation fleet-wide and byte-identical bodies —
+// the non-owner forwards, the owner coalesces, both answers come from
+// the same flight.
+func TestClusterSingleComputeAcrossFleet(t *testing.T) {
+	svcs, regs, servers := newFleet(t, 3, nil)
+	grid := gridOwnedBy(t, svcs, servers, 0) // replica 0 owns the key
+	body := reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid))
+
+	type answer struct {
+		code int
+		body []byte
+	}
+	answers := make([]answer, 2)
+	var wg sync.WaitGroup
+	for i, target := range []int{0, 1} { // the owner and a non-owner
+		wg.Add(1)
+		go func(slot, target int) {
+			defer wg.Done()
+			code, b := post(t, servers[target], "/v1/optimize", body)
+			answers[slot] = answer{code, b}
+		}(i, target)
+	}
+	wg.Wait()
+
+	for i, a := range answers {
+		if a.code != http.StatusOK {
+			t.Fatalf("answer %d: code %d: %s", i, a.code, a.body)
+		}
+	}
+	if !bytes.Equal(answers[0].body, answers[1].body) {
+		t.Fatal("replicas answered different bytes for the same canonical request")
+	}
+	if got := fleetComputes(regs); got != 1 {
+		t.Fatalf("fleet computed %d times, want exactly 1", got)
+	}
+	// The non-owner answered by forwarding, and its local cache now holds
+	// the result: a repeat there is a local hit with no further compute.
+	if regs[1].Snapshot().Counters["dtr_serve_forwarded_total"] == 0 {
+		t.Fatal("non-owner did not forward")
+	}
+	code, b := post(t, servers[1], "/v1/optimize", body)
+	if code != http.StatusOK || !bytes.Equal(b, answers[0].body) {
+		t.Fatalf("repeat on non-owner: code %d", code)
+	}
+	if got := fleetComputes(regs); got != 1 {
+		t.Fatalf("repeat recomputed: fleet computes = %d", got)
+	}
+	if regs[1].Snapshot().Counters["dtr_serve_cache_hits_total"] == 0 {
+		t.Fatal("repeat on non-owner was not a local cache hit")
+	}
+}
+
+// TestClusterOwnerDownSuccessorAnswers: with the owner dead, a
+// non-owner's forward retries the ring successor, which computes under
+// the loop guard and answers correctly.
+func TestClusterOwnerDownSuccessorAnswers(t *testing.T) {
+	svcs, regs, servers := newFleet(t, 3, nil)
+	grid := gridOwnedBy(t, svcs, servers, 0)
+	servers[0].Close() // kill the owner; probing is off, ring still lists it
+
+	// Send to a non-owner: owner attempt fails at the transport level,
+	// the successor (the third replica or the sender — whichever follows
+	// on the ring, excluding self) answers.
+	code, body := post(t, servers[1], "/v1/optimize", reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid)))
+	if code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	if got := fleetComputes(regs); got != 1 {
+		t.Fatalf("fleet computes = %d, want 1", got)
+	}
+	if regs[1].Snapshot().Counters[obs.Name("dtr_cluster_forward_errors_total", "peer", servers[0].URL)] == 0 {
+		t.Fatal("owner transport failure not counted")
+	}
+}
+
+// TestClusterOwnerDownLocalFallback is the degraded path the acceptance
+// criteria lock: a two-member fleet whose other member (the key's
+// owner) is dead has no successor to retry, so the replica serves a
+// correct locally-computed response and increments the forward-failure
+// counter.
+func TestClusterOwnerDownLocalFallback(t *testing.T) {
+	svcs, regs, servers := newFleet(t, 2, nil)
+	grid := gridOwnedBy(t, svcs, servers, 1)
+	servers[1].Close() // the owner dies
+
+	code, body := post(t, servers[0], "/v1/optimize", reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid)))
+	if code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	var r OptimizeResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Value <= 0 {
+		t.Fatalf("fallback response is not a real plan: %+v", r)
+	}
+	snap := regs[0].Snapshot()
+	if snap.Counters["dtr_cluster_forward_failures_total"] != 1 {
+		t.Fatalf("forward failures = %d, want 1", snap.Counters["dtr_cluster_forward_failures_total"])
+	}
+	if snap.Counters["dtr_serve_local_fallback_total"] != 1 {
+		t.Fatalf("local fallback = %d, want 1", snap.Counters["dtr_serve_local_fallback_total"])
+	}
+	if snap.Counters["dtr_serve_computes_total"] != 1 {
+		t.Fatalf("local computes = %d, want 1", snap.Counters["dtr_serve_computes_total"])
+	}
+}
+
+// TestClusterLoopGuard: a request carrying the hop header is computed
+// locally even by a replica that does not own the key — it never
+// re-forwards.
+func TestClusterLoopGuard(t *testing.T) {
+	svcs, regs, servers := newFleet(t, 3, nil)
+	grid := gridOwnedBy(t, svcs, servers, 0)
+	body := reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid))
+
+	// Replica 1 does not own the key; the hop header forces local serve.
+	req, err := http.NewRequest(http.MethodPost, servers[1].URL+"/v1/optimize", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HopHeader, "http://elsewhere.invalid")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("code %d", resp.StatusCode)
+	}
+	snap := regs[1].Snapshot()
+	if snap.Counters["dtr_serve_hop_requests_total"] != 1 {
+		t.Fatalf("hop requests = %d, want 1", snap.Counters["dtr_serve_hop_requests_total"])
+	}
+	if snap.Counters["dtr_serve_computes_total"] != 1 {
+		t.Fatal("hop-marked request was not computed locally")
+	}
+	if snap.Counters["dtr_serve_forwarded_total"] != 0 {
+		t.Fatal("hop-marked request was re-forwarded — routing loop possible")
+	}
+	if regs[0].Snapshot().Counters["dtr_serve_computes_total"] != 0 {
+		t.Fatal("owner computed — the hop-marked request must stay local")
+	}
+}
+
+// TestReadyzWarming locks the warming side of the readiness contract:
+// SetReady(false) → 503 "warming", SetReady(true) → 200, and draining
+// overrides readiness permanently. /healthz stays 200 throughout.
+func TestReadyzWarming(t *testing.T) {
+	svc, _, ts := newTestService(t, Config{Workers: 1})
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Status string `json:"status"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		return resp.StatusCode, doc.Status
+	}
+
+	if code, st := get("/readyz"); code != http.StatusOK || st != "ok" {
+		t.Fatalf("fresh service readyz = %d %q, want 200 ok", code, st)
+	}
+	svc.SetReady(false)
+	if code, st := get("/readyz"); code != http.StatusServiceUnavailable || st != "warming" {
+		t.Fatalf("warming readyz = %d %q, want 503 warming", code, st)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while warming = %d, want 200", code)
+	}
+	svc.SetReady(true)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after warm = %d, want 200", code)
+	}
+	svc.StartDrain()
+	if code, st := get("/readyz"); code != http.StatusServiceUnavailable || st != "draining" {
+		t.Fatalf("draining readyz = %d %q, want 503 draining", code, st)
+	}
+	svc.SetReady(true) // draining wins over readiness
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain+SetReady = %d, want 503", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", code)
+	}
+}
+
+// TestSnapshotRoundTrip: drain-written snapshots reload into a fresh
+// service with byte-identical bodies, and every reloaded key serves as
+// a cache hit with zero recomputation.
+func TestSnapshotRoundTrip(t *testing.T) {
+	svc1, _, ts1 := newTestService(t, Config{Workers: 2})
+	bodies := map[string][]byte{}
+	for _, extra := range []string{`"grid": 512`, `"grid": 1024`} {
+		code, b := post(t, ts1, "/v1/optimize", reqBody(specJSON, extra))
+		if code != http.StatusOK {
+			t.Fatalf("code %d: %s", code, b)
+		}
+		bodies[extra] = b
+	}
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := svc1.WriteCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, reg2, ts2 := newTestService(t, Config{Workers: 2})
+	loaded, err := svc2.LoadCacheSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 {
+		t.Fatalf("loaded %d entries, want 2", loaded)
+	}
+	for extra, want := range bodies {
+		code, got := post(t, ts2, "/v1/optimize", reqBody(specJSON, extra))
+		if code != http.StatusOK {
+			t.Fatalf("code %d", code)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("reloaded body differs for %s", extra)
+		}
+	}
+	snap := reg2.Snapshot()
+	if snap.Counters["dtr_serve_computes_total"] != 0 {
+		t.Fatal("reloaded service recomputed a snapshotted result")
+	}
+	if snap.Counters["dtr_serve_cache_hits_total"] != 2 {
+		t.Fatalf("cache hits = %d, want 2", snap.Counters["dtr_serve_cache_hits_total"])
+	}
+	if snap.Gauges["dtr_serve_cache_bytes"] <= 0 {
+		t.Fatal("cache bytes gauge not published on snapshot load")
+	}
+}
+
+// TestSnapshotRejectsTampering: an entry whose canonical request no
+// longer matches its fingerprint is skipped on load, never trusted.
+func TestSnapshotRejectsTampering(t *testing.T) {
+	svc1, _, ts1 := newTestService(t, Config{Workers: 2})
+	if code, b := post(t, ts1, "/v1/optimize", reqBody(specJSON, `"grid": 512`)); code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, b)
+	}
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := svc1.WriteCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap CacheSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 1 {
+		t.Fatalf("entries = %d", len(snap.Entries))
+	}
+	// Swap the spec for a different (valid) document: the stored key no
+	// longer vouches for it.
+	snap.Entries[0].Spec = json.RawMessage(multiSpecJSON)
+	tampered, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, reg2, _ := newTestService(t, Config{Workers: 2})
+	loaded, err := svc2.LoadCacheSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 {
+		t.Fatalf("loaded %d tampered entries, want 0", loaded)
+	}
+	if reg2.Snapshot().Counters["dtr_serve_snapshot_skipped_total"] != 1 {
+		t.Fatal("tampered entry not counted as skipped")
+	}
+	// Unknown schema and missing file are clean failures.
+	if _, err := svc2.LoadCacheSnapshotFile(filepath.Join(t.TempDir(), "absent.snap")); err != nil {
+		t.Fatalf("missing file should be a no-op, got %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte(`{"schema":"dtr.cachesnap.v99","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.LoadCacheSnapshotFile(bad); err == nil {
+		t.Fatal("unknown schema should be rejected")
+	}
+}
+
+// TestWarmEndpointFiltersByOwner: /v1/cache/warm?peer=X returns only
+// the entries X owns on the static ring; without the parameter the full
+// cache comes back.
+func TestWarmEndpointFiltersByOwner(t *testing.T) {
+	svcs, _, servers := newFleet(t, 2, nil)
+	// Compute two keys locally on replica 0 under the loop guard (so
+	// routing does not move them), one owned by each replica.
+	for _, owner := range []int{0, 1} {
+		grid := gridOwnedBy(t, svcs, servers, owner)
+		body := reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid))
+		req, err := http.NewRequest(http.MethodPost, servers[0].URL+"/v1/optimize", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(cluster.HopHeader, "test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("code %d", resp.StatusCode)
+		}
+	}
+
+	fetch := func(query string) CacheSnapshot {
+		t.Helper()
+		resp, err := http.Get(servers[0].URL + "/v1/cache/warm" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap CacheSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Schema != SnapshotSchema {
+			t.Fatalf("schema = %q", snap.Schema)
+		}
+		return snap
+	}
+
+	full := fetch("")
+	if len(full.Entries) != 2 {
+		t.Fatalf("full warm = %d entries, want 2", len(full.Entries))
+	}
+	owned := fetch("?peer=" + servers[1].URL)
+	if len(owned.Entries) != 1 {
+		t.Fatalf("filtered warm = %d entries, want 1", len(owned.Entries))
+	}
+	if got := svcs[0].cluster.OwnerStatic(owned.Entries[0].Key); got != servers[1].URL {
+		t.Fatalf("returned entry owned by %s, want %s", got, servers[1].URL)
+	}
+}
+
+// TestWarmFromPeers: a restarting replica pulls its owned entries from
+// the fleet and serves them as local cache hits without recomputing.
+func TestWarmFromPeers(t *testing.T) {
+	svcs, regs, servers := newFleet(t, 2, nil)
+	grid := gridOwnedBy(t, svcs, servers, 1)
+	body := reqBody(specJSON, fmt.Sprintf(`"grid": %d`, grid))
+
+	// Seed the result on replica 0's cache via the loop guard (replica 1
+	// owns it, but 0 holds a copy — e.g. it forwarded earlier).
+	req, err := http.NewRequest(http.MethodPost, servers[0].URL+"/v1/optimize", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HopHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Replica 1 warms from the fleet: it must pull exactly its own key.
+	n := svcs[1].WarmFromPeers(context.Background())
+	if n != 1 {
+		t.Fatalf("warmed %d entries, want 1", n)
+	}
+	code, _ := post(t, servers[1], "/v1/optimize", body)
+	if code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	snap := regs[1].Snapshot()
+	if snap.Counters["dtr_serve_computes_total"] != 0 {
+		t.Fatal("warmed replica recomputed")
+	}
+	if snap.Counters["dtr_serve_cache_hits_total"] != 1 {
+		t.Fatalf("cache hits = %d, want 1", snap.Counters["dtr_serve_cache_hits_total"])
+	}
+	if snap.Counters["dtr_serve_warm_pulled_total"] != 1 {
+		t.Fatalf("warm pulled = %d, want 1", snap.Counters["dtr_serve_warm_pulled_total"])
+	}
+}

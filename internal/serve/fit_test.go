@@ -124,11 +124,12 @@ func TestFitEndpointRejects(t *testing.T) {
 	}
 }
 
-// TestHealthzDrains locks the readiness contract: /healthz answers 200
+// TestReadyzDrains locks the readiness contract: /readyz answers 200
 // while serving, flips to 503 the moment graceful shutdown begins (an
 // in-flight request is still holding Shutdown open), and the held
-// request completes.
-func TestHealthzDrains(t *testing.T) {
+// request completes. /healthz is pure liveness: it stays 200 throughout
+// the drain.
+func TestReadyzDrains(t *testing.T) {
 	svc := New(Config{Registry: obs.NewRegistry()})
 	mux := http.NewServeMux()
 	svc.Register(mux)
@@ -144,13 +145,14 @@ func TestHealthzDrains(t *testing.T) {
 	ts.Start()
 	defer ts.Close()
 
-	healthz := func() int {
+	probe := func(path string) int {
 		rec := httptest.NewRecorder()
-		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		return rec.Code
 	}
-	if code := healthz(); code != http.StatusOK {
-		t.Fatalf("healthz before shutdown = %d, want 200", code)
+	readyz := func() int { return probe("/readyz") }
+	if code := readyz(); code != http.StatusOK {
+		t.Fatalf("readyz before shutdown = %d, want 200", code)
 	}
 
 	// Hold one request in flight so Shutdown cannot finish.
@@ -171,11 +173,15 @@ func TestHealthzDrains(t *testing.T) {
 	// must flip to 503. RegisterOnShutdown callbacks run asynchronously,
 	// so poll briefly.
 	deadline := time.Now().Add(2 * time.Second)
-	for healthz() != http.StatusServiceUnavailable {
+	for readyz() != http.StatusServiceUnavailable {
 		if time.Now().After(deadline) {
-			t.Fatal("healthz did not flip to 503 during Shutdown")
+			t.Fatal("readyz did not flip to 503 during Shutdown")
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Liveness never drains: the process is still up and serving.
+	if code := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200 (liveness must not drain)", code)
 	}
 	select {
 	case err := <-shutdownDone:

@@ -97,13 +97,15 @@ type canonOpts struct {
 // decoded and built, the policy parsed against the model, the canonical
 // fingerprint derived.
 type parsedRequest struct {
-	verb    string
-	model   *dtr.Model
-	initial []int
-	policy  dtr.Policy
-	opts    canonOpts
-	key     string        // canonical fingerprint: cache / coalescing key
-	timeout time.Duration // 0 = server default
+	verb     string
+	model    *dtr.Model
+	initial  []int
+	policy   dtr.Policy
+	opts     canonOpts
+	key      string        // canonical fingerprint: cache / coalescing key
+	specJSON []byte        // canonical spec document behind key
+	optsJSON []byte        // canonical option block hashed into key
+	timeout  time.Duration // 0 = server default
 }
 
 // parseRequest validates req for verb and derives the canonical
@@ -259,7 +261,13 @@ func parseRequest(verb string, req *Request) (*parsedRequest, error) {
 	if err != nil {
 		return nil, badRequest{err.Error()}
 	}
+	specJSON, err := spec.CanonicalJSON()
+	if err != nil {
+		return nil, badRequest{err.Error()}
+	}
 	pr.key = key
+	pr.specJSON = specJSON
+	pr.optsJSON = optsJSON
 	return pr, nil
 }
 

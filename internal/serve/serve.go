@@ -18,10 +18,20 @@
 //     on an internal/obs registry, exposable on the same mux.
 //
 // Endpoints: POST /v1/optimize, /v1/metrics, /v1/simulate, /v1/bounds,
-// /v1/cdf, /v1/explain, /v1/batch, /v1/fit, plus GET /healthz. Once
-// StartDrain is called (the daemon wires it to graceful shutdown)
-// /healthz flips to 503 so load balancers stop routing to a terminating
+// /v1/cdf, /v1/explain, /v1/batch, /v1/fit, plus GET /healthz (liveness:
+// always 200 while the process runs), GET /readyz (readiness: 503 while
+// the cache is warming or the instance is draining) and GET
+// /v1/cache/warm (peer cache fill: the cached entries a restarting
+// replica owns, as a dtr.cachesnap.v1 document). Once StartDrain is
+// called (the daemon wires it to graceful shutdown) /readyz flips to 503
+// so load balancers and cluster peers stop routing to a terminating
 // instance.
+//
+// With Config.Cluster set the service is one shard of a fleet: a request
+// whose canonical fingerprint hashes to another replica is forwarded to
+// that owner (so the fleet computes each distinct spec once), a request
+// carrying the cluster hop header is always answered locally (loop
+// guard), and a total forwarding failure degrades to local computation.
 package serve
 
 import (
@@ -31,9 +41,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"dtr/internal/cluster"
 	"dtr/internal/obs"
 	"dtr/internal/par"
 )
@@ -59,6 +71,14 @@ type Config struct {
 	// CacheSize bounds the result cache in entries (0 = 512; negative
 	// disables caching).
 	CacheSize int
+	// CacheBytes additionally bounds the result cache's total byte
+	// footprint (0 = entry count only). Eviction stays LRU; the byte cap
+	// just adds a second eviction trigger.
+	CacheBytes int64
+	// Cluster, when set, makes this service one shard of a fleet:
+	// requests owned by another replica are forwarded to it instead of
+	// computed locally. Nil = standalone serving.
+	Cluster *cluster.Cluster
 	// Registry receives the service metrics (nil = metrics off).
 	Registry *obs.Registry
 	// Tracer receives request-scoped span trees (nil = tracing off).
@@ -78,7 +98,9 @@ type Service struct {
 	admit    *admitter
 	reg      *obs.Registry
 	tracer   *obs.Tracer
+	cluster  *cluster.Cluster
 	draining atomic.Bool
+	notReady atomic.Bool // zero value = ready, so direct constructions serve immediately
 }
 
 // Verbs lists the planning verbs served under /v1/, in registration
@@ -107,11 +129,12 @@ func New(cfg Config) *Service {
 		cfg.CacheSize = 512
 	}
 	s := &Service{
-		cfg:    cfg,
-		cache:  newLRU(cfg.CacheSize),
-		flight: newFlightGroup(),
-		reg:    cfg.Registry,
-		tracer: cfg.Tracer,
+		cfg:     cfg,
+		cache:   newLRU(cfg.CacheSize, cfg.CacheBytes),
+		flight:  newFlightGroup(),
+		reg:     cfg.Registry,
+		tracer:  cfg.Tracer,
+		cluster: cfg.Cluster,
 	}
 	s.admit = newAdmitter(cfg.MaxInflight, cfg.MaxQueued, func(sec float64) {
 		s.reg.Histogram("dtr_serve_queue_wait_seconds", nil).Observe(sec)
@@ -119,30 +142,50 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Register mounts the /v1/ endpoints and /healthz on mux.
+// Register mounts the /v1/ endpoints, /healthz and /readyz on mux.
 func (s *Service) Register(mux *http.ServeMux) {
 	for _, verb := range Verbs {
 		mux.Handle("/v1/"+verb, s.endpoint(verb, s.handleVerb(verb)))
 	}
 	mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
 	mux.Handle("/v1/fit", s.endpoint("fit", s.handleFit))
+	mux.HandleFunc("/v1/cache/warm", s.handleWarm)
+	// Liveness: the process is up and serving HTTP. Never 503 — a
+	// draining or warming instance is alive, just not ready.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if s.draining.Load() {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	// Readiness: safe to route new work here. 503 while warming (the
+	// daemon is still loading/pulling the cache) and permanently once
+	// draining begins. Cluster peers probe this endpoint.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case s.draining.Load():
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, `{"status":"draining"}`)
-			return
+		case s.notReady.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"warming"}`)
+		default:
+			fmt.Fprintln(w, `{"status":"ok"}`)
 		}
-		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 }
 
-// StartDrain flips /healthz to 503 ("draining"): a load balancer's next
+// StartDrain flips /readyz to 503 ("draining"): a load balancer's next
 // probe sees the instance as unready and stops routing new work to it,
 // while in-flight requests continue to completion. The daemon wires
 // this to http.Server.RegisterOnShutdown so the flip happens the moment
 // graceful shutdown begins. Idempotent and irreversible.
 func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// SetReady flips the /readyz warming gate. A freshly constructed
+// Service is ready; a daemon that warms its cache at boot calls
+// SetReady(false) before listening and SetReady(true) once warm.
+// Draining overrides readiness permanently.
+func (s *Service) SetReady(ready bool) { s.notReady.Store(!ready) }
 
 // Handler returns the service on a fresh mux.
 func (s *Service) Handler() http.Handler {
@@ -177,6 +220,13 @@ func (s *Service) endpoint(name string, h func(w http.ResponseWriter, r *http.Re
 		if span != nil {
 			w.Header().Set(obs.TraceparentHeader, span.Traceparent())
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
+		if from := r.Header.Get(cluster.HopHeader); from != "" {
+			// Loop guard: a request that already crossed one cluster hop
+			// is answered locally no matter what our ring says.
+			r = r.WithContext(context.WithValue(r.Context(), hopCtxKey{}, true))
+			span.SetAttr("cluster_hop_from", from)
+			s.reg.Counter("dtr_serve_hop_requests_total").Add(1)
 		}
 		code := h(w, r)
 		span.SetAttr("code", code)
@@ -268,6 +318,20 @@ func (s *Service) pipeline(ctx context.Context, verb string, req *Request) resul
 	}
 	s.reg.Counter("dtr_serve_cache_misses_total").Add(1)
 
+	// Cluster routing: a cache miss on a key another replica owns is
+	// forwarded to that owner, unless this request already crossed a hop
+	// (loop guard) — then it is always computed here. A total forwarding
+	// failure falls through to local computation: the cluster layer can
+	// reduce cache efficiency, never availability.
+	if s.cluster != nil && !hopFromContext(ctx) {
+		if _, local := s.cluster.Route(pr.key); !local {
+			if res, answered := s.forward(ctx, span, pr, req); answered {
+				return res
+			}
+			s.reg.Counter("dtr_serve_local_fallback_total").Add(1)
+		}
+	}
+
 	f, leader := s.flight.join(pr.key)
 	var waitSpan *obs.Span
 	if leader {
@@ -334,9 +398,61 @@ func (s *Service) runFlight(pr *parsedRequest, f *flight, span *obs.Span) {
 		return
 	}
 	body = append(body, '\n')
-	s.cache.Put(pr.key, body)
-	s.reg.Gauge("dtr_serve_cache_entries").Set(float64(s.cache.Len()))
+	s.cachePut(pr.key, body, pr.verb, pr.specJSON, pr.optsJSON)
 	s.flight.finish(pr.key, f, body, http.StatusOK, "")
+}
+
+// cachePut inserts one finished body with its canonical request and
+// refreshes the cache gauges.
+func (s *Service) cachePut(key string, body []byte, verb string, spec, opts []byte) {
+	if ev := s.cache.Put(key, body, verb, spec, opts); ev > 0 {
+		s.reg.Counter("dtr_serve_cache_evictions_total").Add(uint64(ev))
+	}
+	s.reg.Gauge("dtr_serve_cache_entries").Set(float64(s.cache.Len()))
+	s.reg.Gauge("dtr_serve_cache_bytes").Set(float64(s.cache.Bytes()))
+}
+
+// hopCtxKey marks a request context that arrived via a cluster hop.
+type hopCtxKey struct{}
+
+func hopFromContext(ctx context.Context) bool {
+	v, _ := ctx.Value(hopCtxKey{}).(bool)
+	return v
+}
+
+// forward ships one planning request to its owning replica (with the
+// cluster client's successor hedging) and adapts the peer's answer.
+// answered is false only on a total transport failure — the caller then
+// computes locally. Any HTTP status from a peer is authoritative: its
+// 400/429/504 is exactly what admission semantics require here too. A
+// forwarded 200 is cached locally, so repeats of a hot key served here
+// hit the local LRU without another hop.
+func (s *Service) forward(ctx context.Context, span *obs.Span, pr *parsedRequest, req *Request) (res result, answered bool) {
+	fspan := span.Child("peer_forward", "key", pr.key)
+	defer fspan.End()
+	body, err := json.Marshal(req)
+	if err != nil {
+		fspan.SetAttr("error", err)
+		return result{}, false
+	}
+	resp, err := s.cluster.Forward(ctx, fspan, pr.key, "/v1/"+pr.verb, body)
+	if err != nil {
+		fspan.SetAttr("error", err)
+		return result{}, false
+	}
+	fspan.SetAttr("peer", resp.Peer)
+	fspan.SetAttr("code", resp.Status)
+	s.reg.Counter("dtr_serve_forwarded_total").Add(1)
+	if resp.Status == http.StatusOK {
+		s.cachePut(pr.key, resp.Body, pr.verb, pr.specJSON, pr.optsJSON)
+		return result{status: http.StatusOK, body: resp.Body}, true
+	}
+	msg := strings.TrimSpace(string(resp.Body))
+	var er ErrorResponse
+	if json.Unmarshal(resp.Body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return result{status: resp.Status, errMsg: msg}, true
 }
 
 // write sends a finished result as the HTTP response.

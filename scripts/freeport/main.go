@@ -1,0 +1,40 @@
+// Command freeport prints N free TCP ports on 127.0.0.1, one per line.
+// Cluster smoke tests need every replica's port before any replica
+// boots (the -peers list is static), so ports are reserved up front:
+// all listeners are held open until every port is allocated, then
+// closed together, guaranteeing N distinct ports.
+//
+//	go run ./scripts/freeport 3
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 || v > 64 {
+			fmt.Fprintln(os.Stderr, "usage: freeport [count (1-64)]")
+			os.Exit(2)
+		}
+		n = v
+	}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "freeport: %v\n", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+		_ = ln.Close()
+	}
+}

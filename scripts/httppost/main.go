@@ -1,0 +1,50 @@
+// Command httppost is a minimal curl stand-in for scripts on hosts
+// without curl: POST a JSON body (from a file or stdin) to a URL, copy
+// the response body to stdout, exit non-zero on transport errors or
+// non-2xx statuses.
+//
+//	go run ./scripts/httppost http://127.0.0.1:8080/v1/optimize req.json
+//	echo '{...}' | go run ./scripts/httppost http://127.0.0.1:8080/v1/optimize
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: httppost <url> [body-file]")
+		os.Exit(2)
+	}
+	var body []byte
+	var err error
+	if len(os.Args) == 3 {
+		body, err = os.ReadFile(os.Args[2])
+	} else {
+		body, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httppost: %v\n", err)
+		os.Exit(1)
+	}
+	c := &http.Client{Timeout: 60 * time.Second}
+	resp, err := c.Post(os.Args[1], "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httppost: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "httppost: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode/100 != 2 {
+		fmt.Fprintf(os.Stderr, "httppost: HTTP %d\n", resp.StatusCode)
+		os.Exit(1)
+	}
+}
